@@ -1,0 +1,43 @@
+// Experiment 6: constraint-aware direct sampling vs accept-reject (AR)
+// sampling, on hard DCs (Adult-like) and soft DCs (BR2000-like).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "kamino/dc/violations.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader("Experiment 6: direct constraint-aware vs accept-reject sampling");
+  std::printf("%-10s %-8s %12s %10s %12s\n", "dataset", "mode", "violations%",
+              "time(s)", "AR-proposals");
+
+  for (BenchmarkDataset& ds :
+       std::vector<BenchmarkDataset>{MakeAdultLike(400, kSeed),
+                                     MakeBr2000Like(400, kSeed)}) {
+    auto constraints = Constraints(ds);
+    for (bool accept_reject : {false, true}) {
+      KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
+      config.options.accept_reject = accept_reject;
+      config.options.ar_max_tries = 300;
+      auto result = RunKamino(ds.table, constraints, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      double violations = 0.0;
+      for (const WeightedConstraint& wc : constraints) {
+        violations += ViolationRatePercent(wc.dc, result.value().synthetic);
+      }
+      std::printf("%-10s %-8s %11.2f%% %10.2f %12lld\n", ds.name.c_str(),
+                  accept_reject ? "AR" : "direct", violations,
+                  result.value().timings.Total(),
+                  static_cast<long long>(result.value().telemetry.ar_proposals));
+    }
+  }
+  std::printf("\nShape check: AR produces more violations than direct sampling\n"
+              "on the hard-DC dataset (adult); on soft DCs both are similar.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 1 (motivation): baseline synthetic data, with and without a
+// post-hoc constraint repair ("standard" vs "cleaned"). Repairing restores
+// consistency but hurts both classification accuracy and 2-way marginals.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "kamino/dc/violations.h"
+#include "kamino/eval/repair.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader(
+      "Figure 1: utility of baseline synthetic Adult, standard vs cleaned");
+  BenchmarkDataset ds = MakeAdultLike(kDefaultRows, kSeed);
+  auto constraints = Constraints(ds);
+
+  std::printf("%-10s %-9s %9s %10s %12s\n", "method", "variant", "accuracy",
+              "2way-TVD", "violations%");
+  for (const char* name : {"privbayes", "pate-gan", "dp-vae"}) {
+    MethodRun run = RunBaseline(name, ds, 1.0, kSeed);
+    Table cleaned = RepairViolations(run.synthetic, constraints);
+    for (const auto& [variant, table] :
+         std::vector<std::pair<std::string, const Table*>>{
+             {"standard", &run.synthetic}, {"cleaned", &cleaned}}) {
+      const QualitySummary q = ClassifierQuality(*table, ds.table, 6, kSeed);
+      const MarginalSummary m = MarginalQuality(*table, ds.table, kSeed);
+      double violations = 0.0;
+      for (const WeightedConstraint& wc : constraints) {
+        violations += ViolationRatePercent(wc.dc, *table);
+      }
+      std::printf("%-10s %-9s %9.3f %10.3f %11.2f%%\n", name, variant.c_str(),
+                  q.accuracy, m.two_way_mean, violations);
+    }
+  }
+  std::printf(
+      "\nShape check: 'cleaned' rows should show lower accuracy and/or\n"
+      "larger marginal distance than 'standard', at ~0%% violations.\n");
+  return 0;
+}

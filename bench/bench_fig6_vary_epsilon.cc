@@ -1,0 +1,35 @@
+// Figure 6 (Experiment 7): task quality vs privacy budget
+// eps in {0.1, 0.2, 0.4, 0.8, 1.6, inf} on the Adult-like workload.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader("Figure 6: quality vs privacy budget (Adult)");
+  BenchmarkDataset ds = MakeAdultLike(500, kSeed);
+  std::printf("%-8s %-10s %9s %7s %10s %10s\n", "epsilon", "method",
+              "accuracy", "F1", "1way-mean", "2way-mean");
+  // Convention: epsilon <= 0 denotes the non-private (eps = inf) runs.
+  for (double epsilon : {0.1, 0.2, 0.4, 0.8, 1.6, -1.0}) {
+    for (const MethodRun& run : RunAllMethods(ds, epsilon, kSeed)) {
+      const QualitySummary q =
+          ClassifierQuality(run.synthetic, ds.table, 4, kSeed);
+      const MarginalSummary m = MarginalQuality(run.synthetic, ds.table, kSeed);
+      if (epsilon > 0) {
+        std::printf("%-8.1f %-10s %9.3f %7.3f %10.3f %10.3f\n", epsilon,
+                    run.method.c_str(), q.accuracy, q.f1, m.one_way_mean,
+                    m.two_way_mean);
+      } else {
+        std::printf("%-8s %-10s %9.3f %7.3f %10.3f %10.3f\n", "inf",
+                    run.method.c_str(), q.accuracy, q.f1, m.one_way_mean,
+                    m.two_way_mean);
+      }
+    }
+  }
+  std::printf("\nShape check: quality improves with epsilon for every method;\n"
+              "kamino stays at/near the best accuracy across budgets.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 9 (Experiment 9): effect of the number of MCMC re-samples per
+// attribute (m, expressed as a ratio over n) on quality and time.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader("Figure 9: MCMC re-sampling m/n sweep (Adult)");
+  const size_t n = 300;
+  BenchmarkDataset ds = MakeAdultLike(n, kSeed);
+  std::printf("%-6s %9s %7s %10s %10s %9s\n", "m/n", "accuracy", "F1",
+              "1way-mean", "2way-mean", "time(s)");
+  for (double ratio : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
+    config.options.mcmc_resamples = static_cast<size_t>(ratio * n);
+    auto result = RunKamino(ds.table, Constraints(ds), config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const QualitySummary q =
+        ClassifierQuality(result.value().synthetic, ds.table, 4, kSeed);
+    const MarginalSummary m =
+        MarginalQuality(result.value().synthetic, ds.table, kSeed);
+    std::printf("%-6.2f %9.3f %7.3f %10.3f %10.3f %9.2f\n", ratio, q.accuracy,
+                q.f1, m.one_way_mean, m.two_way_mean,
+                result.value().timings.Total());
+  }
+  std::printf("\nShape check: modest quality gains from re-sampling at the\n"
+              "cost of longer sampling time.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 1: description of the (generated stand-in) datasets and their DCs.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader("Table 1: datasets and denial constraints (generated stand-ins)");
+  std::printf("%-8s %6s %4s %12s %8s\n", "dataset", "n", "k", "log2(domain)",
+              "hardDCs");
+  auto all = MakeAllBenchmarks(kDefaultRows, kSeed);
+  for (const BenchmarkDataset& ds : all) {
+    bool all_hard = true;
+    for (bool h : ds.hardness) all_hard = all_hard && h;
+    std::printf("%-8s %6zu %4zu %12.1f %8s\n", ds.name.c_str(),
+                ds.table.num_rows(), ds.table.schema().size(),
+                ds.table.schema().Log2DomainSize(), all_hard ? "yes" : "no");
+  }
+  std::printf("\nDCs:\n");
+  for (const BenchmarkDataset& ds : all) {
+    auto constraints = Constraints(ds);
+    for (size_t l = 0; l < constraints.size(); ++l) {
+      std::printf("  %-8s phi%zu [%s]: %s\n", ds.name.c_str(), l + 1,
+                  constraints[l].hard ? "hard" : "soft",
+                  constraints[l].dc.ToString(ds.table.schema()).c_str());
+    }
+  }
+  return 0;
+}

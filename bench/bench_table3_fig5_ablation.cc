@@ -1,0 +1,66 @@
+// Table 3 + Figure 5 (Experiment 5): ablation of the constraint-aware
+// components - RandSequence (random attribute order), RandSampling (i.i.d.
+// sampling without the DC factor) and RandBoth.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "kamino/dc/violations.h"
+
+int main() {
+  using namespace kamino;
+  using namespace kamino::bench;
+  PrintHeader("Table 3 / Figure 5: constraint-aware component ablation (Adult)");
+  BenchmarkDataset ds = MakeAdultLike(500, kSeed);
+  auto constraints = Constraints(ds);
+
+  struct Variant {
+    const char* name;
+    bool constraint_aware;
+    bool random_sequence;
+  };
+  const Variant variants[] = {
+      {"Kamino", true, false},
+      {"RandSequence", true, true},
+      {"RandSampling", false, false},
+      {"RandBoth", false, true},
+  };
+
+  std::printf("%-14s", "variant");
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    std::printf("   phi_a%zu%%", l + 1);
+  }
+  std::printf(" %9s %7s %10s %10s\n", "accuracy", "F1", "1way-mean",
+              "2way-mean");
+
+  // Truth row for reference.
+  std::printf("%-14s", "Truth");
+  for (const WeightedConstraint& wc : constraints) {
+    std::printf(" %8.2f", ViolationRatePercent(wc.dc, ds.table));
+  }
+  std::printf("\n");
+
+  for (const Variant& v : variants) {
+    KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
+    config.options.constraint_aware_sampling = v.constraint_aware;
+    config.options.random_sequence = v.random_sequence;
+    auto result = RunKamino(ds.table, constraints, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const Table& synth = result.value().synthetic;
+    std::printf("%-14s", v.name);
+    for (const WeightedConstraint& wc : constraints) {
+      std::printf(" %8.2f", ViolationRatePercent(wc.dc, synth));
+    }
+    const QualitySummary q = ClassifierQuality(synth, ds.table, 6, kSeed);
+    const MarginalSummary m = MarginalQuality(synth, ds.table, kSeed);
+    std::printf(" %9.3f %7.3f %10.3f %10.3f\n", q.accuracy, q.f1,
+                m.one_way_mean, m.two_way_mean);
+  }
+  std::printf("\nShape check: full Kamino has the fewest violations; the\n"
+              "ablations (especially RandSampling/RandBoth) violate more.\n");
+  return 0;
+}

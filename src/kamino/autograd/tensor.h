@@ -1,0 +1,95 @@
+#ifndef KAMINO_AUTOGRAD_TENSOR_H_
+#define KAMINO_AUTOGRAD_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kamino/common/logging.h"
+#include "kamino/common/rng.h"
+
+namespace kamino {
+
+/// A dense row-major matrix of doubles.
+///
+/// This is the numeric workhorse of the NN substrate that stands in for
+/// PyTorch tensors. Shapes in this library are tiny (embedding dimension
+/// 8-32, domains of a few hundred values), so a simple contiguous buffer
+/// with no views or strides is the right level of machinery.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// 1 x values.size() row vector.
+  static Tensor RowVector(std::vector<double> values) {
+    Tensor t;
+    t.rows_ = 1;
+    t.cols_ = values.size();
+    t.data_ = std::move(values);
+    return t;
+  }
+
+  /// 1 x 1 scalar.
+  static Tensor Scalar(double v) { return RowVector({v}); }
+
+  /// Gaussian-initialized matrix (for parameter init).
+  static Tensor Randn(size_t rows, size_t cols, double stddev, Rng* rng) {
+    Tensor t(rows, cols);
+    for (double& v : t.data_) v = rng->Gaussian(0.0, stddev);
+    return t;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Sets every element to zero (grad reset).
+  void Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// this += other (same shape).
+  void Add(const Tensor& other) {
+    KAMINO_CHECK(SameShape(other)) << "Tensor::Add shape mismatch";
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  }
+
+  /// this += scale * other (same shape). Used by optimizers.
+  void Axpy(double scale, const Tensor& other) {
+    KAMINO_CHECK(SameShape(other)) << "Tensor::Axpy shape mismatch";
+    for (size_t i = 0; i < data_.size(); ++i) {
+      data_[i] += scale * other.data_[i];
+    }
+  }
+
+  /// Multiplies every element by `scale`.
+  void Scale(double scale) {
+    for (double& v : data_) v *= scale;
+  }
+
+  /// Sum of squared entries (for gradient-norm computations).
+  double SquaredL2() const {
+    double s = 0.0;
+    for (double v : data_) s += v * v;
+    return s;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_AUTOGRAD_TENSOR_H_

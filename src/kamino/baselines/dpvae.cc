@@ -1,0 +1,202 @@
+#include "kamino/baselines/dpvae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kamino/autograd/ops.h"
+#include "kamino/dp/gaussian.h"
+#include "kamino/dp/rdp.h"
+#include "kamino/nn/dpsgd.h"
+#include "kamino/nn/module.h"
+
+namespace kamino {
+namespace {
+
+/// How each attribute maps into the dense auto-encoder input/output.
+struct Slot {
+  size_t attr = 0;
+  bool onehot = false;   // categorical block of `width` indicator slots
+  size_t offset = 0;     // first input dimension
+  size_t width = 1;
+  size_t cardinality = 0;  // discrete-view cardinality
+};
+
+struct Layout {
+  std::vector<Slot> slots;
+  size_t total = 0;
+};
+
+Layout MakeLayout(const DiscreteView& view, size_t onehot_limit) {
+  Layout layout;
+  for (size_t a = 0; a < view.num_attrs(); ++a) {
+    Slot slot;
+    slot.attr = a;
+    slot.cardinality = view.cardinality(a);
+    slot.offset = layout.total;
+    if (slot.cardinality <= onehot_limit) {
+      slot.onehot = true;
+      slot.width = slot.cardinality;
+    } else {
+      slot.onehot = false;
+      slot.width = 1;
+    }
+    layout.total += slot.width;
+    layout.slots.push_back(slot);
+  }
+  return layout;
+}
+
+Tensor EncodeRow(const Table& table, size_t row, const DiscreteView& view,
+                 const Layout& layout) {
+  Tensor x(1, layout.total);
+  for (const Slot& slot : layout.slots) {
+    const int bucket = view.Encode(slot.attr, table.at(row, slot.attr));
+    if (slot.onehot) {
+      x[slot.offset + static_cast<size_t>(bucket)] = 1.0;
+    } else {
+      x[slot.offset] = static_cast<double>(bucket) /
+                       static_cast<double>(slot.cardinality);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Table> DpVae::Synthesize(const Table& truth, size_t n, Rng* rng) {
+  const Schema& schema = truth.schema();
+  const size_t rows = truth.num_rows();
+  if (rows == 0) return Status::InvalidArgument("dp-vae needs data");
+  DiscreteView view = DiscreteView::Make(schema, options_.numeric_bins);
+  Layout layout = MakeLayout(view, options_.onehot_limit);
+  const size_t d_in = layout.total;
+  const size_t h = options_.hidden_dim;
+  const size_t z_dim = options_.latent_dim;
+
+  // Privacy calibration: 80% of the budget to DP-SGD training, 20% to the
+  // two latent-moment releases (deltas split evenly).
+  const double q = std::min(
+      1.0, static_cast<double>(options_.batch_size) / static_cast<double>(rows));
+  const double sigma_train =
+      CalibrateSgmSigma(static_cast<int64_t>(options_.iterations), q,
+                        0.8 * options_.epsilon, options_.delta / 2);
+  const double sigma_latent =
+      CalibrateGaussianSigma(2, 0.2 * options_.epsilon, options_.delta / 2);
+
+  // Parameters: encoder (d_in -> z), decoder (z -> h -> d_in).
+  const double init = 0.3 / std::sqrt(static_cast<double>(d_in));
+  Parameter enc_w(Tensor::Randn(d_in, z_dim, init, rng));
+  Parameter enc_b(Tensor(1, z_dim));
+  Parameter dec_w1(Tensor::Randn(z_dim, h, 0.4, rng));
+  Parameter dec_b1(Tensor(1, h));
+  Parameter dec_w2(Tensor::Randn(h, d_in, 0.3, rng));
+  Parameter dec_b2(Tensor(1, d_in));
+  std::vector<Parameter*> params = {&enc_w,  &enc_b,  &dec_w1,
+                                    &dec_b1, &dec_w2, &dec_b2};
+
+  auto decode = [&](const Var& z, ForwardContext* ctx) {
+    Var hidden = Relu(Add(MatMul(z, ctx->Bind(&dec_w1)), ctx->Bind(&dec_b1)));
+    return Add(MatMul(hidden, ctx->Bind(&dec_w2)), ctx->Bind(&dec_b2));
+  };
+
+  auto example_loss = [&](size_t row, ForwardContext* ctx) {
+    Tensor x = EncodeRow(truth, row, view, layout);
+    Var input = MakeConstant(x);
+    Var z = Tanh(Add(MatMul(input, ctx->Bind(&enc_w)), ctx->Bind(&enc_b)));
+    Var out = decode(z, ctx);
+    // Reconstruction loss: squared error on every slot (cross-entropy on
+    // one-hot blocks behaves similarly at this scale and SE keeps the
+    // graph small).
+    Var diff = Sub(out, input);
+    return Mean(Mul(diff, diff));
+  };
+
+  // DP-SGD training loop (same per-example clipping scheme as Kamino's).
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    std::vector<Tensor> grad_sum = ZeroGradients(params);
+    for (size_t i = 0; i < rows; ++i) {
+      if (!rng->Bernoulli(q)) continue;
+      ForwardContext ctx;
+      Var loss = example_loss(i, &ctx);
+      Backward(loss);
+      std::vector<Tensor> grads = ZeroGradients(params);
+      ctx.AccumulateInto(params, &grads);
+      ClipGradients(&grads, options_.clip_norm);
+      for (size_t p = 0; p < params.size(); ++p) grad_sum[p].Add(grads[p]);
+    }
+    const double noise_sd = sigma_train * options_.clip_norm;
+    for (Tensor& g : grad_sum) {
+      for (double& v : g.data()) v += rng->Gaussian(0.0, noise_sd);
+    }
+    for (size_t p = 0; p < params.size(); ++p) {
+      params[p]->value.Axpy(
+          -options_.learning_rate / static_cast<double>(options_.batch_size),
+          grad_sum[p]);
+    }
+  }
+
+  // Noisy latent moments (latents clipped to [-1, 1] by tanh, so the L2
+  // sensitivity of the mean vector is 2*sqrt(z_dim)/n per tuple change).
+  std::vector<double> mean(z_dim, 0.0), second(z_dim, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    ForwardContext ctx;
+    Tensor x = EncodeRow(truth, i, view, layout);
+    Var z = Tanh(Add(MatMul(MakeConstant(x), ctx.Bind(&enc_w)),
+                     ctx.Bind(&enc_b)));
+    for (size_t j = 0; j < z_dim; ++j) {
+      mean[j] += z->value[j];
+      second[j] += z->value[j] * z->value[j];
+    }
+  }
+  const double sens =
+      2.0 * std::sqrt(static_cast<double>(z_dim)) / static_cast<double>(rows);
+  for (size_t j = 0; j < z_dim; ++j) {
+    mean[j] /= rows;
+    second[j] /= rows;
+  }
+  AddGaussianNoise(&mean, sigma_latent, sens, rng);
+  AddGaussianNoise(&second, sigma_latent, sens, rng);
+
+  std::vector<double> stddev(z_dim, 0.3);
+  for (size_t j = 0; j < z_dim; ++j) {
+    const double var = second[j] - mean[j] * mean[j];
+    stddev[j] = std::sqrt(std::max(0.01, var));
+  }
+
+  // Generation: decode Gaussian latents, sampling categorical blocks from
+  // the softmax of their logits.
+  Table out(schema);
+  out.ResizeRows(n);
+  for (size_t r = 0; r < n; ++r) {
+    Tensor z(1, z_dim);
+    for (size_t j = 0; j < z_dim; ++j) {
+      z[j] = std::clamp(rng->Gaussian(mean[j], stddev[j]), -1.0, 1.0);
+    }
+    ForwardContext ctx;
+    Var decoded = decode(MakeConstant(z), &ctx);
+    for (const Slot& slot : layout.slots) {
+      int bucket;
+      if (slot.onehot) {
+        std::vector<double> weights(slot.width);
+        double mx = decoded->value[slot.offset];
+        for (size_t c = 1; c < slot.width; ++c) {
+          mx = std::max(mx, decoded->value[slot.offset + c]);
+        }
+        for (size_t c = 0; c < slot.width; ++c) {
+          // Sharpened softmax: reconstruction outputs live near {0,1}.
+          weights[c] = std::exp(6.0 * (decoded->value[slot.offset + c] - mx));
+        }
+        bucket = static_cast<int>(rng->Discrete(weights));
+      } else {
+        const double raw = decoded->value[slot.offset] *
+                           static_cast<double>(slot.cardinality);
+        bucket = std::clamp(static_cast<int>(std::lround(raw)), 0,
+                            static_cast<int>(slot.cardinality) - 1);
+      }
+      out.set(r, slot.attr, view.Decode(slot.attr, bucket, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace kamino

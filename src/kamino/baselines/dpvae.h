@@ -1,0 +1,48 @@
+#ifndef KAMINO_BASELINES_DPVAE_H_
+#define KAMINO_BASELINES_DPVAE_H_
+
+#include <string>
+
+#include "kamino/baselines/synthesizer.h"
+
+namespace kamino {
+
+/// DP-VAE (Chen et al. 2018): samples from the latent space of a privately
+/// trained auto-encoder.
+///
+/// This reproduction trains a small auto-encoder (one-hot / standardized
+/// encoding -> linear-tanh latent -> relu decoder with per-attribute heads)
+/// with DP-SGD on our autograd substrate, privately releases the latent
+/// first/second moments with the Gaussian mechanism, and generates rows by
+/// decoding Gaussian latent samples. The budget is split 80/20 between
+/// training and the latent statistics.
+class DpVae : public Synthesizer {
+ public:
+  struct Options {
+    double epsilon = 1.0;
+    double delta = 1e-6;
+    int numeric_bins = 16;
+    size_t latent_dim = 6;
+    size_t hidden_dim = 16;
+    size_t iterations = 150;
+    size_t batch_size = 16;
+    double clip_norm = 1.0;
+    double learning_rate = 0.05;
+    /// One-hot encode categorical attributes up to this cardinality;
+    /// larger ones use a single scaled-index slot.
+    size_t onehot_limit = 64;
+  };
+
+  explicit DpVae(Options options) : options_(options) {}
+
+  Result<Table> Synthesize(const Table& truth, size_t n, Rng* rng) override;
+
+  std::string name() const override { return "dp-vae"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_BASELINES_DPVAE_H_

@@ -1,0 +1,180 @@
+#include "kamino/baselines/nist_pgm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kamino/dp/rdp.h"
+
+namespace kamino {
+namespace {
+
+struct MeasuredPair {
+  size_t a = 0;
+  size_t b = 0;
+  std::vector<double> joint;  // |a| x |b| row-major
+  double mi = 0.0;
+};
+
+double PairMutualInformation(const MeasuredPair& pair, size_t card_a,
+                             size_t card_b) {
+  std::vector<double> pa(card_a, 0.0), pb(card_b, 0.0);
+  for (size_t x = 0; x < card_a; ++x) {
+    for (size_t y = 0; y < card_b; ++y) {
+      pa[x] += pair.joint[x * card_b + y];
+      pb[y] += pair.joint[x * card_b + y];
+    }
+  }
+  double mi = 0.0;
+  for (size_t x = 0; x < card_a; ++x) {
+    for (size_t y = 0; y < card_b; ++y) {
+      const double pxy = pair.joint[x * card_b + y];
+      if (pxy > 1e-12 && pa[x] > 1e-12 && pb[y] > 1e-12) {
+        mi += pxy * std::log(pxy / (pa[x] * pb[y]));
+      }
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+/// Union-find for the spanning forest.
+struct DisjointSet {
+  std::vector<size_t> parent;
+  explicit DisjointSet(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<Table> NistPgm::Synthesize(const Table& truth, size_t n, Rng* rng) {
+  const Schema& schema = truth.schema();
+  const size_t k = schema.size();
+  if (k == 0 || truth.num_rows() == 0) {
+    return Status::InvalidArgument("nist-pgm requires a non-empty instance");
+  }
+  DiscreteView view = DiscreteView::Make(schema, options_.numeric_bins);
+
+  const int64_t releases = static_cast<int64_t>(k + options_.num_pairs);
+  const double sigma =
+      CalibrateGaussianSigma(releases, options_.epsilon, options_.delta);
+
+  // All 1-way marginals.
+  std::vector<std::vector<double>> one_way(k);
+  for (size_t a = 0; a < k; ++a) {
+    one_way[a] = NoisyJointDistribution(truth, view, {a}, sigma, rng);
+  }
+
+  // num_pairs random tractable 2-way marginals.
+  std::vector<std::pair<size_t, size_t>> all_pairs;
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      if (view.cardinality(a) * view.cardinality(b) <=
+          options_.max_joint_cells) {
+        all_pairs.emplace_back(a, b);
+      }
+    }
+  }
+  rng->Shuffle(&all_pairs);
+  if (all_pairs.size() > options_.num_pairs) {
+    all_pairs.resize(options_.num_pairs);
+  }
+  std::vector<MeasuredPair> measured;
+  for (const auto& [a, b] : all_pairs) {
+    MeasuredPair pair;
+    pair.a = a;
+    pair.b = b;
+    pair.joint = NoisyJointDistribution(truth, view, {a, b}, sigma, rng);
+    pair.mi = PairMutualInformation(pair, view.cardinality(a),
+                                    view.cardinality(b));
+    measured.push_back(std::move(pair));
+  }
+
+  // Chow-Liu style spanning forest over the measured pairs: greedily add
+  // edges by decreasing noisy MI.
+  std::sort(measured.begin(), measured.end(),
+            [](const MeasuredPair& x, const MeasuredPair& y) {
+              return x.mi > y.mi;
+            });
+  DisjointSet dsu(k);
+  // adjacency: child -> (parent, pair index, parent_is_a)
+  struct Edge {
+    size_t parent;
+    size_t pair_index;
+  };
+  std::vector<std::vector<std::pair<size_t, size_t>>> adjacency(k);
+  std::vector<size_t> forest_edges;
+  for (size_t e = 0; e < measured.size(); ++e) {
+    if (dsu.Union(measured[e].a, measured[e].b)) {
+      adjacency[measured[e].a].emplace_back(measured[e].b, e);
+      adjacency[measured[e].b].emplace_back(measured[e].a, e);
+      forest_edges.push_back(e);
+    }
+  }
+
+  // Root each component at its smallest-index attribute and orient edges
+  // (BFS), producing a sampling order.
+  std::vector<int> parent_pair(k, -1);
+  std::vector<size_t> parent_attr(k, 0);
+  std::vector<size_t> bfs_order;
+  std::vector<bool> visited(k, false);
+  for (size_t root = 0; root < k; ++root) {
+    if (visited[root]) continue;
+    std::vector<size_t> queue = {root};
+    visited[root] = true;
+    while (!queue.empty()) {
+      const size_t node = queue.back();
+      queue.pop_back();
+      bfs_order.push_back(node);
+      for (const auto& [next, pair_index] : adjacency[node]) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        parent_pair[next] = static_cast<int>(pair_index);
+        parent_attr[next] = node;
+        queue.push_back(next);
+      }
+    }
+  }
+
+  Table out(schema);
+  out.ResizeRows(n);
+  std::vector<int> buckets(k, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t attr : bfs_order) {
+      std::vector<double> weights;
+      if (parent_pair[attr] < 0) {
+        weights = one_way[attr];
+      } else {
+        const MeasuredPair& pair = measured[parent_pair[attr]];
+        const size_t parent = parent_attr[attr];
+        const size_t card_b = view.cardinality(pair.b);
+        const size_t card = view.cardinality(attr);
+        weights.assign(card, 0.0);
+        for (size_t v = 0; v < card; ++v) {
+          const size_t x = pair.a == attr ? v : buckets[parent];
+          const size_t y = pair.a == attr ? buckets[parent] : v;
+          weights[v] = pair.joint[x * card_b + y];
+        }
+      }
+      const int bucket = static_cast<int>(rng->Discrete(weights));
+      buckets[attr] = bucket;
+      out.set(r, attr, view.Decode(attr, bucket, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace kamino

@@ -1,0 +1,42 @@
+#ifndef KAMINO_BASELINES_NIST_PGM_H_
+#define KAMINO_BASELINES_NIST_PGM_H_
+
+#include <string>
+
+#include "kamino/baselines/synthesizer.h"
+
+namespace kamino {
+
+/// The NIST DP synthetic-data challenge winner (McKenna et al.):
+/// probabilistic-graphical-model inference over noisy marginals.
+///
+/// As in the paper's setup, it measures every 1-way marginal plus 2-way
+/// marginals over `num_pairs` randomly chosen attribute pairs (Gaussian
+/// mechanism, noise split by RDP composition), then fits a Chow-Liu-style
+/// spanning forest over the measured pairs (edges weighted by the noisy
+/// mutual information) and samples tuples i.i.d. from the tree model.
+/// Attributes not touched by a selected edge are sampled independently
+/// from their noisy 1-way marginal.
+class NistPgm : public Synthesizer {
+ public:
+  struct Options {
+    double epsilon = 1.0;
+    double delta = 1e-6;
+    int numeric_bins = 16;
+    size_t num_pairs = 10;
+    size_t max_joint_cells = 60000;
+  };
+
+  explicit NistPgm(Options options) : options_(options) {}
+
+  Result<Table> Synthesize(const Table& truth, size_t n, Rng* rng) override;
+
+  std::string name() const override { return "nist"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_BASELINES_NIST_PGM_H_

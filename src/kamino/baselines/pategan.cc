@@ -1,0 +1,152 @@
+#include "kamino/baselines/pategan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kamino/autograd/ops.h"
+#include "kamino/dp/rdp.h"
+#include "kamino/nn/module.h"
+
+namespace kamino {
+namespace {
+
+struct PairTarget {
+  size_t a = 0;
+  size_t b = 0;
+  Tensor joint;  // card_a x card_b
+};
+
+}  // namespace
+
+Result<Table> PateGan::Synthesize(const Table& truth, size_t n, Rng* rng) {
+  const Schema& schema = truth.schema();
+  const size_t k = schema.size();
+  if (k == 0 || truth.num_rows() == 0) {
+    return Status::InvalidArgument("pate-gan needs data");
+  }
+  DiscreteView view = DiscreteView::Make(schema, options_.numeric_bins);
+
+  // --- Private statistics release (the only data access) ---
+  const int64_t releases = static_cast<int64_t>(k + options_.num_pairs);
+  const double sigma =
+      CalibrateGaussianSigma(releases, options_.epsilon, options_.delta);
+  std::vector<Tensor> one_way_target(k);
+  for (size_t a = 0; a < k; ++a) {
+    one_way_target[a] = Tensor::RowVector(
+        NoisyJointDistribution(truth, view, {a}, sigma, rng));
+  }
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      if (view.cardinality(a) <= options_.pair_cardinality_limit &&
+          view.cardinality(b) <= options_.pair_cardinality_limit) {
+        candidates.emplace_back(a, b);
+      }
+    }
+  }
+  rng->Shuffle(&candidates);
+  if (candidates.size() > options_.num_pairs) {
+    candidates.resize(options_.num_pairs);
+  }
+  std::vector<PairTarget> pair_targets;
+  for (const auto& [a, b] : candidates) {
+    PairTarget t;
+    t.a = a;
+    t.b = b;
+    std::vector<double> joint =
+        NoisyJointDistribution(truth, view, {a, b}, sigma, rng);
+    t.joint = Tensor(view.cardinality(a), view.cardinality(b));
+    t.joint.data() = joint;
+    pair_targets.push_back(std::move(t));
+  }
+
+  // --- Generator (post-processing on the released statistics) ---
+  const size_t z_dim = options_.latent_dim;
+  const size_t h = options_.hidden_dim;
+  Parameter w1(Tensor::Randn(z_dim, h, 0.5, rng));
+  Parameter b1(Tensor(1, h));
+  std::vector<std::unique_ptr<Parameter>> head_w, head_b;
+  for (size_t a = 0; a < k; ++a) {
+    head_w.push_back(std::make_unique<Parameter>(
+        Tensor::Randn(h, view.cardinality(a), 0.3, rng)));
+    head_b.push_back(
+        std::make_unique<Parameter>(Tensor(1, view.cardinality(a))));
+  }
+  std::vector<Parameter*> params = {&w1, &b1};
+  for (size_t a = 0; a < k; ++a) {
+    params.push_back(head_w[a].get());
+    params.push_back(head_b[a].get());
+  }
+
+  auto forward_probs = [&](const Tensor& z, ForwardContext* ctx) {
+    Var hidden =
+        Tanh(Add(MatMul(MakeConstant(z), ctx->Bind(&w1)), ctx->Bind(&b1)));
+    std::vector<Var> probs(k);
+    for (size_t a = 0; a < k; ++a) {
+      probs[a] = Softmax(Add(MatMul(hidden, ctx->Bind(head_w[a].get())),
+                             ctx->Bind(head_b[a].get())));
+    }
+    return probs;
+  };
+
+  // Moment-matching training: make the expected generator marginals match
+  // the noisy targets.
+  const double batch_inv = 1.0 / static_cast<double>(options_.batch_size);
+  for (size_t step = 0; step < options_.train_steps; ++step) {
+    ForwardContext ctx;
+    // Batch of latent draws; accumulate expected per-attribute probs and
+    // expected pair outer products.
+    std::vector<Var> expected(k);
+    std::vector<Var> expected_pairs(pair_targets.size());
+    for (size_t s = 0; s < options_.batch_size; ++s) {
+      Tensor z(1, z_dim);
+      for (double& v : z.data()) v = rng->Gaussian();
+      std::vector<Var> probs = forward_probs(z, &ctx);
+      for (size_t a = 0; a < k; ++a) {
+        Var scaled = Scale(probs[a], batch_inv);
+        expected[a] = expected[a] ? Add(expected[a], scaled) : scaled;
+      }
+      for (size_t p = 0; p < pair_targets.size(); ++p) {
+        Var outer = Scale(MatMul(Transpose(probs[pair_targets[p].a]),
+                                 probs[pair_targets[p].b]),
+                          batch_inv);
+        expected_pairs[p] =
+            expected_pairs[p] ? Add(expected_pairs[p], outer) : outer;
+      }
+    }
+    Var loss;
+    for (size_t a = 0; a < k; ++a) {
+      Var diff = Sub(expected[a], MakeConstant(one_way_target[a]));
+      Var se = Sum(Mul(diff, diff));
+      loss = loss ? Add(loss, se) : se;
+    }
+    for (size_t p = 0; p < pair_targets.size(); ++p) {
+      Var diff = Sub(expected_pairs[p], MakeConstant(pair_targets[p].joint));
+      Var se = Scale(Sum(Mul(diff, diff)), 0.5);
+      loss = loss ? Add(loss, se) : se;
+    }
+    Backward(loss);
+    std::vector<Tensor> grads = ZeroGradients(params);
+    ctx.AccumulateInto(params, &grads);
+    for (size_t p = 0; p < params.size(); ++p) {
+      params[p]->value.Axpy(-options_.learning_rate, grads[p]);
+    }
+  }
+
+  // --- Generation ---
+  Table out(schema);
+  out.ResizeRows(n);
+  for (size_t r = 0; r < n; ++r) {
+    Tensor z(1, z_dim);
+    for (double& v : z.data()) v = rng->Gaussian();
+    ForwardContext ctx;
+    std::vector<Var> probs = forward_probs(z, &ctx);
+    for (size_t a = 0; a < k; ++a) {
+      const int bucket = static_cast<int>(rng->Discrete(probs[a]->value.data()));
+      out.set(r, a, view.Decode(a, bucket, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace kamino

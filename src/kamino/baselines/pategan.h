@@ -1,0 +1,49 @@
+#ifndef KAMINO_BASELINES_PATEGAN_H_
+#define KAMINO_BASELINES_PATEGAN_H_
+
+#include <string>
+
+#include "kamino/baselines/synthesizer.h"
+
+namespace kamino {
+
+/// PATE-GAN-style deep generator (Jordon et al., ICLR 2019 - simplified).
+///
+/// The original trains a generator against a student discriminator that is
+/// supervised by noisy votes of teacher discriminators. Reproducing the
+/// full adversarial loop offline is out of scope, so this stand-in keeps
+/// the two properties the evaluation exercises - a deep latent-variable
+/// generator and i.i.d., constraint-oblivious samples with a DP guarantee -
+/// by fitting the generator to *privately released statistics*: noisy
+/// 1-way marginals for every attribute and noisy 2-way marginals for
+/// random small-domain pairs (the teachers' aggregate signal). Generator
+/// training on those released statistics is pure post-processing.
+class PateGan : public Synthesizer {
+ public:
+  struct Options {
+    double epsilon = 1.0;
+    double delta = 1e-6;
+    int numeric_bins = 16;
+    size_t num_pairs = 10;
+    /// Only attributes with at most this many buckets join pair moments.
+    size_t pair_cardinality_limit = 32;
+    size_t latent_dim = 4;
+    size_t hidden_dim = 16;
+    size_t train_steps = 150;
+    size_t batch_size = 16;
+    double learning_rate = 0.2;
+  };
+
+  explicit PateGan(Options options) : options_(options) {}
+
+  Result<Table> Synthesize(const Table& truth, size_t n, Rng* rng) override;
+
+  std::string name() const override { return "pate-gan"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_BASELINES_PATEGAN_H_

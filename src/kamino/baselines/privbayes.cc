@@ -1,0 +1,190 @@
+#include "kamino/baselines/privbayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "kamino/dp/rdp.h"
+
+namespace kamino {
+namespace {
+
+/// Mutual information of a pairwise joint distribution p(x, y) given as a
+/// row-major |X| x |Y| table.
+double MutualInformation(const std::vector<double>& joint, size_t card_x,
+                         size_t card_y) {
+  std::vector<double> px(card_x, 0.0), py(card_y, 0.0);
+  for (size_t x = 0; x < card_x; ++x) {
+    for (size_t y = 0; y < card_y; ++y) {
+      px[x] += joint[x * card_y + y];
+      py[y] += joint[x * card_y + y];
+    }
+  }
+  double mi = 0.0;
+  for (size_t x = 0; x < card_x; ++x) {
+    for (size_t y = 0; y < card_y; ++y) {
+      const double pxy = joint[x * card_y + y];
+      if (pxy > 1e-12 && px[x] > 1e-12 && py[y] > 1e-12) {
+        mi += pxy * std::log(pxy / (px[x] * py[y]));
+      }
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace
+
+Result<Table> PrivBayes::Synthesize(const Table& truth, size_t n, Rng* rng) {
+  const Schema& schema = truth.schema();
+  const size_t k = schema.size();
+  if (k == 0 || truth.num_rows() == 0) {
+    return Status::InvalidArgument("privbayes requires a non-empty instance");
+  }
+  DiscreteView view = DiscreteView::Make(schema, options_.numeric_bins);
+
+  // Budget: k*(k-1)/2 pairwise joints + at most k triple joints.
+  const int64_t releases = static_cast<int64_t>(k * (k - 1) / 2 + k);
+  const double sigma =
+      CalibrateGaussianSigma(releases, options_.epsilon, options_.delta);
+
+  // Release all (tractable) pairwise joints once; reuse for MI and CPTs.
+  std::vector<std::vector<std::vector<double>>> pair_joint(
+      k, std::vector<std::vector<double>>(k));
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      if (view.cardinality(a) * view.cardinality(b) > options_.max_joint_cells) {
+        continue;
+      }
+      pair_joint[a][b] = NoisyJointDistribution(truth, view, {a, b}, sigma, rng);
+    }
+  }
+
+  // Attribute order: ascending domain size (small roots first).
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return view.cardinality(a) < view.cardinality(b);
+  });
+
+  auto joint_of = [&](size_t a, size_t b) -> const std::vector<double>* {
+    const size_t lo = std::min(a, b);
+    const size_t hi = std::max(a, b);
+    return pair_joint[lo][hi].empty() ? nullptr : &pair_joint[lo][hi];
+  };
+  auto mi_of = [&](size_t a, size_t b) {
+    const std::vector<double>* joint = joint_of(a, b);
+    if (joint == nullptr) return 0.0;
+    const size_t lo = std::min(a, b);
+    const size_t hi = std::max(a, b);
+    return MutualInformation(*joint, view.cardinality(lo),
+                             view.cardinality(hi));
+  };
+
+  // Greedy parent choice: top max_parents predecessors by noisy MI, with a
+  // cap on the conditional table size.
+  struct NodeModel {
+    std::vector<size_t> parents;
+    std::vector<double> joint;  // joint over (parents..., attr)
+  };
+  std::vector<NodeModel> nodes(k);
+  for (size_t pos = 1; pos < k; ++pos) {
+    const size_t attr = order[pos];
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t prev = 0; prev < pos; ++prev) {
+      const size_t cand = order[prev];
+      if (joint_of(attr, cand) != nullptr) {
+        scored.emplace_back(mi_of(attr, cand), cand);
+      }
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    std::vector<size_t> parents;
+    size_t cells = view.cardinality(attr);
+    for (const auto& [mi, cand] : scored) {
+      if (parents.size() >= static_cast<size_t>(options_.max_parents)) break;
+      if (cells * view.cardinality(cand) > options_.max_joint_cells) continue;
+      parents.push_back(cand);
+      cells *= view.cardinality(cand);
+    }
+    nodes[attr].parents = parents;
+    if (parents.size() <= 1) {
+      // Reuse the pairwise joint (or the 1-way derived from any pair).
+      continue;
+    }
+    std::vector<size_t> attrs = parents;
+    attrs.push_back(attr);
+    nodes[attr].joint = NoisyJointDistribution(truth, view, attrs, sigma, rng);
+  }
+
+  // One-way marginals for roots, derived from noisy pair joints where
+  // possible (free post-processing), else released... every attribute has
+  // at least one pairwise joint unless k == 1.
+  auto one_way = [&](size_t attr) {
+    std::vector<double> marginal(view.cardinality(attr), 0.0);
+    for (size_t other = 0; other < k; ++other) {
+      if (other == attr) continue;
+      const std::vector<double>* joint = joint_of(attr, other);
+      if (joint == nullptr) continue;
+      const size_t lo = std::min(attr, other);
+      const size_t hi = std::max(attr, other);
+      const size_t card_hi = view.cardinality(hi);
+      for (size_t x = 0; x < view.cardinality(lo); ++x) {
+        for (size_t y = 0; y < card_hi; ++y) {
+          const double p = (*joint)[x * card_hi + y];
+          marginal[attr == lo ? x : y] += p;
+        }
+      }
+      return marginal;
+    }
+    // No pair joint available (huge domains everywhere): uniform.
+    std::fill(marginal.begin(), marginal.end(),
+              1.0 / static_cast<double>(marginal.size()));
+    return marginal;
+  };
+
+  // Ancestral sampling, i.i.d. per tuple.
+  Table out(schema);
+  out.ResizeRows(n);
+  std::vector<int> buckets(k, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t pos = 0; pos < k; ++pos) {
+      const size_t attr = order[pos];
+      const NodeModel& node = nodes[attr];
+      std::vector<double> weights;
+      const size_t card = view.cardinality(attr);
+      if (pos == 0 || (node.parents.empty() && node.joint.empty())) {
+        weights = one_way(attr);
+      } else if (node.parents.size() == 1 && node.joint.empty()) {
+        const size_t parent = node.parents[0];
+        const std::vector<double>* joint = joint_of(attr, parent);
+        weights.assign(card, 0.0);
+        if (joint != nullptr) {
+          const size_t lo = std::min(attr, parent);
+          const size_t hi = std::max(attr, parent);
+          const size_t card_hi = view.cardinality(hi);
+          for (size_t v = 0; v < card; ++v) {
+            const size_t x = attr == lo ? v : buckets[parent];
+            const size_t y = attr == lo ? buckets[parent] : v;
+            weights[v] = (*joint)[x * card_hi + y];
+          }
+        }
+      } else {
+        // Slice the (parents..., attr) joint at the sampled parent values.
+        size_t offset = 0;
+        for (size_t p : node.parents) {
+          offset = offset * view.cardinality(p) +
+                   static_cast<size_t>(buckets[p]);
+        }
+        weights.assign(card, 0.0);
+        for (size_t v = 0; v < card; ++v) {
+          weights[v] = node.joint[offset * card + v];
+        }
+      }
+      const int bucket = static_cast<int>(rng->Discrete(weights));
+      buckets[attr] = bucket;
+      out.set(r, attr, view.Decode(attr, bucket, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace kamino

@@ -1,0 +1,55 @@
+#include "kamino/baselines/synthesizer.h"
+
+#include "kamino/common/logging.h"
+#include "kamino/dp/gaussian.h"
+
+namespace kamino {
+
+DiscreteView DiscreteView::Make(const Schema& schema, int numeric_bins) {
+  DiscreteView view;
+  for (size_t a = 0; a < schema.size(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.is_categorical()) {
+      view.cardinalities_.push_back(attr.categories().size());
+      view.quantizers_.push_back(std::nullopt);
+    } else {
+      auto q = Quantizer::Make(attr, numeric_bins);
+      KAMINO_CHECK(q.ok()) << q.status().ToString();
+      view.cardinalities_.push_back(static_cast<size_t>(numeric_bins));
+      view.quantizers_.push_back(q.value());
+    }
+  }
+  return view;
+}
+
+int DiscreteView::Encode(size_t attr, const Value& v) const {
+  if (quantizers_[attr].has_value()) return quantizers_[attr]->BinOf(v.numeric());
+  return v.category();
+}
+
+Value DiscreteView::Decode(size_t attr, int bucket, Rng* rng) const {
+  if (quantizers_[attr].has_value()) {
+    return Value::Numeric(quantizers_[attr]->SampleWithin(bucket, rng));
+  }
+  return Value::Categorical(bucket);
+}
+
+std::vector<double> NoisyJointDistribution(const Table& truth,
+                                           const DiscreteView& view,
+                                           const std::vector<size_t>& attrs,
+                                           double sigma, Rng* rng) {
+  size_t cells = 1;
+  for (size_t a : attrs) cells *= view.cardinality(a);
+  std::vector<double> counts(cells, 0.0);
+  for (size_t r = 0; r < truth.num_rows(); ++r) {
+    size_t cell = 0;
+    for (size_t a : attrs) {
+      cell = cell * view.cardinality(a) +
+             static_cast<size_t>(view.Encode(a, truth.at(r, a)));
+    }
+    counts[cell] += 1.0;
+  }
+  return NoisyNormalizedHistogram(counts, sigma, rng);
+}
+
+}  // namespace kamino

@@ -1,0 +1,63 @@
+#ifndef KAMINO_BASELINES_SYNTHESIZER_H_
+#define KAMINO_BASELINES_SYNTHESIZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/common/status.h"
+#include "kamino/data/quantizer.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Common interface of the differentially private synthetic-data baselines
+/// compared against Kamino in section 7 (PrivBayes, NIST-PGM, DP-VAE,
+/// PATE-GAN). All baselines sample tuples i.i.d. and are oblivious to
+/// denial constraints - which is exactly the failure mode the paper's
+/// Table 2 demonstrates.
+class Synthesizer {
+ public:
+  virtual ~Synthesizer() = default;
+
+  /// Generates `n` rows with the synthesizer's (epsilon, delta) guarantee.
+  virtual Result<Table> Synthesize(const Table& truth, size_t n,
+                                   Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// A discretized view of a mixed-type schema: categorical attributes keep
+/// their categories, numeric attributes are quantized into equal-width
+/// bins. All baselines operate on this view and decode buckets back to
+/// values (numeric buckets decode to a uniform draw within the bin).
+class DiscreteView {
+ public:
+  static DiscreteView Make(const Schema& schema, int numeric_bins);
+
+  size_t num_attrs() const { return cardinalities_.size(); }
+  size_t cardinality(size_t attr) const { return cardinalities_[attr]; }
+
+  /// Bucket index of a value.
+  int Encode(size_t attr, const Value& v) const;
+
+  /// Concrete value for a bucket (uniform within numeric bins).
+  Value Decode(size_t attr, int bucket, Rng* rng) const;
+
+ private:
+  std::vector<size_t> cardinalities_;
+  std::vector<std::optional<Quantizer>> quantizers_;
+};
+
+/// Noisy (Gaussian) normalized joint histogram over a set of attributes of
+/// the discrete view. Shared helper for the marginal-based baselines.
+std::vector<double> NoisyJointDistribution(const Table& truth,
+                                           const DiscreteView& view,
+                                           const std::vector<size_t>& attrs,
+                                           double sigma, Rng* rng);
+
+}  // namespace kamino
+
+#endif  // KAMINO_BASELINES_SYNTHESIZER_H_

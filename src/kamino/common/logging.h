@@ -1,0 +1,69 @@
+#ifndef KAMINO_COMMON_LOGGING_H_
+#define KAMINO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kamino {
+namespace internal_logging {
+
+/// Severity levels for KAMINO_LOG.
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink that writes a single line to stderr on destruction.
+/// Fatal messages abort the process after being flushed.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << file << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (level_ == LogLevel::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace kamino
+
+#define KAMINO_LOG(level)                                  \
+  ::kamino::internal_logging::LogMessage(                  \
+      ::kamino::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Used for programmer errors
+/// (violated invariants), not for recoverable input validation - the latter
+/// returns Status.
+#define KAMINO_CHECK(cond)                                      \
+  if (!(cond)) KAMINO_LOG(Fatal) << "Check failed: " #cond " "
+
+#endif  // KAMINO_COMMON_LOGGING_H_

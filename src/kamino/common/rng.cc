@@ -1,0 +1,26 @@
+#include "kamino/common/rng.h"
+
+namespace kamino {
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    if (weights.empty()) return 0;
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace kamino

@@ -1,0 +1,138 @@
+#ifndef KAMINO_COMMON_STATUS_H_
+#define KAMINO_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kamino {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// code sets of Arrow/RocksDB-style status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kNotImplemented,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation without a payload.
+///
+/// The library does not use C++ exceptions; every operation that can fail
+/// returns a `Status` (or a `Result<T>` when it also produces a value).
+/// A default-constructed `Status` is OK and carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. Use the named
+  /// factories below in preference to calling this directly.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder, analogous to `arrow::Result<T>`.
+///
+/// Holds either a `T` (when `ok()`) or a non-OK `Status`. Accessing the
+/// value of an errored result aborts in debug builds and is undefined
+/// otherwise, so callers must check `ok()` (or use the KAMINO_ASSIGN_OR_RETURN
+/// macro) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (an OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Moves the value out of the result. Requires `ok()`.
+  T TakeValue() { return *std::move(value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define KAMINO_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::kamino::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#define KAMINO_CONCAT_IMPL_(x, y) x##y
+#define KAMINO_CONCAT_(x, y) KAMINO_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on error and
+/// otherwise assigning the value to `lhs`.
+#define KAMINO_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  KAMINO_ASSIGN_OR_RETURN_IMPL_(KAMINO_CONCAT_(_res_, __LINE__), lhs,  \
+                                rexpr)
+
+#define KAMINO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).TakeValue();
+
+}  // namespace kamino
+
+#endif  // KAMINO_COMMON_STATUS_H_

@@ -1,0 +1,77 @@
+#include "kamino/common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace kamino {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty number");
+  // std::from_chars for double is not available on all libstdc++ configs;
+  // use strtod on a bounded copy instead.
+  std::string buf(t);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("bad double: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty integer");
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    return Status::InvalidArgument("bad integer: '" + std::string(t) + "'");
+  }
+  return v;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace kamino

@@ -1,0 +1,33 @@
+#ifndef KAMINO_COMMON_STRINGS_H_
+#define KAMINO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kamino/common/status.h"
+
+namespace kamino {
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Parses a double, rejecting trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer, rejecting trailing garbage.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace kamino
+
+#endif  // KAMINO_COMMON_STRINGS_H_

@@ -1,0 +1,78 @@
+#ifndef KAMINO_CORE_KAMINO_H_
+#define KAMINO_CORE_KAMINO_H_
+
+#include <string>
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/core/options.h"
+#include "kamino/core/sampler.h"
+#include "kamino/data/table.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+
+/// Wall-clock seconds spent in each phase of a run (Figure 7's profile).
+struct PhaseTimings {
+  double sequencing = 0.0;
+  double parameter_search = 0.0;
+  double training = 0.0;
+  double violation_matrix = 0.0;  ///< violation matrix + weight learning
+  double sampling = 0.0;
+
+  double Total() const {
+    return sequencing + parameter_search + training + violation_matrix +
+           sampling;
+  }
+};
+
+/// Everything a Kamino run produces.
+struct KaminoResult {
+  Table synthetic;
+  /// The schema sequence S chosen by Algorithm 4 (or the random ablation).
+  std::vector<size_t> sequence;
+  /// Learned (or hardness-implied) weight per input constraint.
+  std::vector<double> dc_weights;
+  /// The DP parameter set Psi actually used.
+  KaminoOptions resolved_options;
+  /// Privacy cost of the run under Theorem 1 (infinity if non-private).
+  double epsilon_spent = 0.0;
+  PhaseTimings timings;
+  SynthesisTelemetry telemetry;
+};
+
+/// Kamino: constraint-aware differentially private data synthesis
+/// (Algorithm 1).
+///
+/// Typical use:
+///   KaminoConfig config;
+///   config.epsilon = 1.0;
+///   config.delta = 1e-6;
+///   auto result = RunKamino(true_table, constraints, config);
+///   if (result.ok()) { /* use result.value().synthetic */ }
+struct KaminoConfig {
+  /// Total privacy budget (epsilon, delta). Ignored when
+  /// `options.non_private` is set.
+  double epsilon = 1.0;
+  double delta = 1e-6;
+  /// Learn weights for non-hard constraints with Algorithm 5. When false,
+  /// the weights provided on the constraints are used as-is.
+  bool learn_weights = true;
+  /// Number of synthetic rows; 0 means "same as the input instance".
+  size_t output_rows = 0;
+  /// Base hyper-parameters; the DP subset is overridden by the parameter
+  /// search unless `options.non_private` is set.
+  KaminoOptions options;
+};
+
+/// Runs the full pipeline: sequencing (Algorithm 4), parameter search
+/// (Algorithm 6), model training (Algorithm 2), weight learning
+/// (Algorithm 5, when requested and soft DCs are present) and
+/// constraint-aware sampling (Algorithm 3).
+Result<KaminoResult> RunKamino(const Table& data,
+                               const std::vector<WeightedConstraint>& constraints,
+                               const KaminoConfig& config);
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_KAMINO_H_

@@ -1,0 +1,213 @@
+#include "kamino/core/model.h"
+
+#include <thread>
+
+#include "kamino/common/logging.h"
+#include "kamino/dp/gaussian.h"
+#include "kamino/nn/dpsgd.h"
+
+namespace kamino {
+
+std::vector<int32_t> ModelUnit::DecodeJointIndex(size_t index) const {
+  std::vector<int32_t> values(radix.size());
+  for (size_t i = radix.size(); i-- > 0;) {
+    values[i] = static_cast<int32_t>(index % radix[i]);
+    index /= radix[i];
+  }
+  return values;
+}
+
+namespace {
+
+/// Joint index of a row's values over the unit's categorical attributes.
+size_t JointIndexOf(const ModelUnit& unit, const Row& row) {
+  size_t index = 0;
+  for (size_t i = 0; i < unit.attrs.size(); ++i) {
+    index = index * unit.radix[i] +
+            static_cast<size_t>(row[unit.attrs[i]].category());
+  }
+  return index;
+}
+
+size_t JointDomainSize(const ModelUnit& unit) {
+  size_t product = 1;
+  for (size_t r : unit.radix) product *= r;
+  return product;
+}
+
+void FillRadix(const Schema& schema, ModelUnit* unit) {
+  unit->radix.clear();
+  for (size_t a : unit->attrs) {
+    unit->radix.push_back(schema.attribute(a).categories().size());
+  }
+}
+
+/// Fits a (possibly joint) noisy histogram for the unit.
+Status TrainHistogramUnit(const Table& data, const KaminoOptions& options,
+                          ModelUnit* unit, Rng* rng) {
+  const Schema& schema = data.schema();
+  std::vector<double> counts;
+  if (unit->attrs.size() == 1 && schema.attribute(unit->attrs[0]).is_numeric()) {
+    KAMINO_ASSIGN_OR_RETURN(
+        Quantizer quantizer,
+        Quantizer::Make(schema.attribute(unit->attrs[0]), options.quantize_bins));
+    counts.assign(quantizer.num_bins(), 0.0);
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      counts[quantizer.BinOf(data.at(i, unit->attrs[0]).numeric())] += 1.0;
+    }
+    unit->quantizer = quantizer;
+  } else {
+    FillRadix(schema, unit);
+    counts.assign(JointDomainSize(*unit), 0.0);
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      counts[JointIndexOf(*unit, data.row(i))] += 1.0;
+    }
+  }
+  const double sigma = options.non_private ? 0.0 : options.sigma_g;
+  unit->distribution = NoisyNormalizedHistogram(counts, sigma, rng);
+  return Status::OK();
+}
+
+void TrainDiscriminativeUnit(const Table& data, const Schema& schema,
+                             const KaminoOptions& options, EncoderStore* store,
+                             ModelUnit* unit, uint64_t seed) {
+  Rng rng(seed);
+  FillRadix(schema, unit);
+  unit->model = std::make_unique<DiscriminativeModel>(
+      schema, unit->context, unit->attrs, store, &rng);
+  DpSgdOptions sgd;
+  sgd.clip_norm = options.clip_norm;
+  sgd.noise_multiplier = options.non_private ? 0.0 : options.sigma_d;
+  sgd.batch_size = options.batch_size;
+  sgd.iterations = options.iterations;
+  sgd.learning_rate = options.learning_rate;
+  TrainDpSgd(unit->model.get(), data, sgd, &rng);
+}
+
+}  // namespace
+
+std::vector<ModelUnit> ProbabilisticDataModel::PlanUnits(
+    const Schema& schema, const std::vector<size_t>& sequence,
+    const KaminoOptions& options) {
+  std::vector<ModelUnit> units;
+  size_t pos = 0;
+  const size_t k = sequence.size();
+
+  auto is_small_categorical = [&](size_t attr) {
+    const Attribute& a = schema.attribute(attr);
+    return a.is_categorical() &&
+           a.DomainSize() <= options.large_domain_threshold;
+  };
+
+  while (pos < k) {
+    ModelUnit unit;
+    unit.start_position = pos;
+    const size_t attr = sequence[pos];
+    const Attribute& a = schema.attribute(attr);
+    const bool first = pos == 0;
+
+    // Greedy hyper-attribute grouping over adjacent small categoricals.
+    std::vector<size_t> group = {attr};
+    if (options.enable_grouping && is_small_categorical(attr)) {
+      int64_t product = a.DomainSize();
+      size_t next = pos + 1;
+      while (next < k && is_small_categorical(sequence[next]) &&
+             product * schema.attribute(sequence[next]).DomainSize() <=
+                 options.group_domain_threshold) {
+        product *= schema.attribute(sequence[next]).DomainSize();
+        group.push_back(sequence[next]);
+        ++next;
+      }
+      // Grouping a single attribute is a no-op; keep it only when it
+      // actually merges attributes.
+      if (group.size() == 1) group = {attr};
+    }
+    unit.attrs = group;
+
+    const bool large_domain =
+        a.is_categorical() && a.DomainSize() > options.large_domain_threshold;
+    if (first || large_domain) {
+      unit.kind = ModelUnit::Kind::kHistogram;
+      // Large-domain fallbacks are never grouped.
+      if (large_domain) unit.attrs = {attr};
+    } else {
+      unit.kind = ModelUnit::Kind::kDiscriminative;
+      for (size_t p = 0; p < pos; ++p) unit.context.push_back(sequence[p]);
+    }
+    for (size_t a2 : unit.attrs) {
+      if (schema.attribute(a2).is_categorical()) {
+        unit.radix.push_back(schema.attribute(a2).categories().size());
+      }
+    }
+    pos += unit.attrs.size();
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
+Result<ProbabilisticDataModel> ProbabilisticDataModel::Train(
+    const Table& data, const std::vector<size_t>& sequence,
+    const KaminoOptions& options, Rng* rng) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot train on an empty instance");
+  }
+  if (sequence.size() != data.schema().size()) {
+    return Status::InvalidArgument("sequence arity != schema arity");
+  }
+  ProbabilisticDataModel model;
+  model.schema_ = &data.schema();
+  model.sequence_ = sequence;
+  model.shared_store_ =
+      std::make_unique<EncoderStore>(data.schema(), options.embed_dim, rng);
+  model.units_ = PlanUnits(data.schema(), sequence, options);
+
+  // Histogram units (Gaussian mechanism) always train on this thread.
+  for (ModelUnit& unit : model.units_) {
+    if (unit.kind == ModelUnit::Kind::kHistogram) {
+      unit.radix.clear();
+      KAMINO_RETURN_IF_ERROR(TrainHistogramUnit(data, options, &unit, rng));
+    }
+  }
+
+  if (!options.parallel_training) {
+    // Sequential (Algorithm 2): sub-models share the encoder store, so
+    // embeddings trained for earlier context re-seed later sub-models.
+    for (ModelUnit& unit : model.units_) {
+      if (unit.kind != ModelUnit::Kind::kDiscriminative) continue;
+      TrainDiscriminativeUnit(data, data.schema(), options,
+                              model.shared_store_.get(), &unit,
+                              rng->NextSeed());
+    }
+  } else {
+    // Section 7.3.6: train sub-models in parallel with private, freshly
+    // initialized encoder stores (no embedding reuse).
+    std::vector<std::thread> workers;
+    for (ModelUnit& unit : model.units_) {
+      if (unit.kind != ModelUnit::Kind::kDiscriminative) continue;
+      const uint64_t seed = rng->NextSeed();
+      Rng init_rng(seed);
+      unit.private_store = std::make_unique<EncoderStore>(
+          data.schema(), options.embed_dim, &init_rng);
+      workers.emplace_back([&data, &options, &unit, seed] {
+        TrainDiscriminativeUnit(data, data.schema(), options,
+                                unit.private_store.get(), &unit, seed ^ 0x9e3779b9);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  return model;
+}
+
+size_t ProbabilisticDataModel::num_histogram_units() const {
+  size_t count = 0;
+  for (const ModelUnit& u : units_) {
+    if (u.kind == ModelUnit::Kind::kHistogram) ++count;
+  }
+  return count;
+}
+
+size_t ProbabilisticDataModel::num_discriminative_units() const {
+  return units_.size() - num_histogram_units();
+}
+
+}  // namespace kamino

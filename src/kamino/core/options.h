@@ -1,0 +1,81 @@
+#ifndef KAMINO_CORE_OPTIONS_H_
+#define KAMINO_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kamino {
+
+/// Every knob of the Kamino pipeline: learning hyper-parameters, the DP
+/// parameter set Psi (Algorithm 6 output), and the ablation/optimization
+/// switches exercised by the evaluation section.
+struct KaminoOptions {
+  // --- Model hyper-parameters ---
+  /// Embedding dimension d of the tuple embedding.
+  size_t embed_dim = 12;
+  /// Quantization bins q for numeric histogram attributes.
+  int quantize_bins = 16;
+  /// DP-SGD learning rate eta.
+  double learning_rate = 0.05;
+
+  // --- DP parameter set Psi (Algorithm 6 / Theorem 1) ---
+  /// Noise scale for the first-attribute histogram (and any large-domain
+  /// Gaussian-fallback histograms).
+  double sigma_g = 2.0;
+  /// DP-SGD noise multiplier.
+  double sigma_d = 1.1;
+  /// L2 gradient clipping bound C.
+  double clip_norm = 1.0;
+  /// Expected DP-SGD batch size b.
+  size_t batch_size = 16;
+  /// DP-SGD iterations T per sub-model.
+  size_t iterations = 100;
+  /// Noise multiplier for the violation matrix (weight learning).
+  double sigma_w = 1.0;
+  /// Expected weight-learning sample size Lw.
+  size_t weight_sample = 100;
+  /// Weight-fitting iterations Tw (post-processing; no privacy cost).
+  size_t weight_iterations = 100;
+  /// Weight-fitting batch size bw (post-processing).
+  size_t weight_batch = 1;
+  /// When true, skip all noise injection (the epsilon = infinity runs).
+  bool non_private = false;
+
+  // --- Sampling ---
+  /// Candidate set size d for continuous / very large domains.
+  int max_candidates = 12;
+  /// MCMC re-samples m per attribute after the column is synthesized.
+  size_t mcmc_resamples = 0;
+
+  // --- Optimizations (section 4.3 / 7.3.6) ---
+  /// Categorical attributes with more categories than this are learned via
+  /// a noisy histogram and sampled without context (Gaussian fallback).
+  int64_t large_domain_threshold = 96;
+  /// Adjacent small categorical attributes are grouped into one hyper
+  /// attribute while the joint domain stays at or below this.
+  int64_t group_domain_threshold = 64;
+  /// Master switch for hyper-attribute grouping.
+  bool enable_grouping = true;
+  /// Resolve hard FDs by group lookup instead of candidate scoring.
+  bool enable_fd_fast_path = false;
+  /// Train sub-models with fresh (unshared) embeddings, allowing parallel
+  /// training across threads.
+  bool parallel_training = false;
+
+  // --- Ablations (Experiment 5/6) ---
+  /// RandSampling: drop the exp(-w * violations) factor during sampling.
+  bool constraint_aware_sampling = true;
+  /// RandSequence: replace Algorithm 4 with a random permutation.
+  bool random_sequence = false;
+  /// Use accept-reject sampling instead of direct reweighted sampling.
+  bool accept_reject = false;
+  /// Maximum AR proposals per cell before keeping the last sample.
+  size_t ar_max_tries = 300;
+
+  /// Root seed for all randomness in the run.
+  uint64_t seed = 1;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_OPTIONS_H_

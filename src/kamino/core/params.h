@@ -1,0 +1,41 @@
+#ifndef KAMINO_CORE_PARAMS_H_
+#define KAMINO_CORE_PARAMS_H_
+
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/core/options.h"
+#include "kamino/data/schema.h"
+
+namespace kamino {
+
+/// Computes the end-to-end (epsilon, delta) privacy cost of running Kamino
+/// with the given options on an instance of `num_rows` rows, using the RDP
+/// composition of Theorem 1. `num_histograms` and `num_models` count the
+/// planned histogram and discriminative units; `learn_weights` adds the
+/// violation-matrix release of Algorithm 5.
+double PrivacyCostEpsilon(const KaminoOptions& options, size_t num_rows,
+                          size_t num_histograms, size_t num_models,
+                          bool learn_weights, double delta);
+
+/// Algorithm 6: searches a DP parameter set Psi whose total privacy cost
+/// fits within (epsilon, delta).
+///
+/// Starts from the most accurate configuration (minimal noise, maximal
+/// iterations/batch from `base`) and repeatedly backs off in priority
+/// order - fewer iterations T, larger sigma_d, larger sigma_g, smaller
+/// batch b - until the RDP bound of Theorem 1 is within budget. If the
+/// bounded ranges cannot fit the budget, sigma_d and sigma_g keep growing
+/// without bound (very small epsilon simply means very noisy training).
+///
+/// `sequence` must already be chosen (Algorithm 4) because the number of
+/// sub-models and histogram releases depends on the unit plan.
+Result<KaminoOptions> SearchDpParameters(double epsilon, double delta,
+                                         const Schema& schema,
+                                         const std::vector<size_t>& sequence,
+                                         size_t num_rows, bool learn_weights,
+                                         const KaminoOptions& base);
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_PARAMS_H_

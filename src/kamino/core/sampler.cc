@@ -1,0 +1,420 @@
+#include "kamino/core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "kamino/common/logging.h"
+#include "kamino/core/sequencing.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+/// One joint assignment for a unit's attributes, with its model
+/// probability p_{v|c}.
+struct Candidate {
+  std::vector<Value> values;  // aligned with unit.attrs
+  double prob = 0.0;
+};
+
+double GaussianPdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+/// Converts per-candidate log-scores into sampling weights, shifting by
+/// the max so that large DC penalties (hard weights * many violations)
+/// never underflow every weight to zero at once - the *relative* penalty
+/// is what matters for line 10 of Algorithm 3.
+std::vector<double> LogScoresToWeights(const std::vector<double>& log_scores) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double s : log_scores) mx = std::max(mx, s);
+  std::vector<double> weights(log_scores.size(), 0.0);
+  if (!std::isfinite(mx)) return weights;
+  for (size_t i = 0; i < log_scores.size(); ++i) {
+    weights[i] = std::exp(log_scores[i] - mx);
+  }
+  return weights;
+}
+
+/// Enumerates the candidate set D(S[j]) with conditional probabilities
+/// (Algorithm 3 line 6, plus the continuous-domain candidate sampling).
+std::vector<Candidate> GenerateCandidates(const ModelUnit& unit,
+                                          const Schema& schema, const Row& row,
+                                          const KaminoOptions& options,
+                                          const std::vector<double>& prior_values,
+                                          Rng* rng) {
+  std::vector<Candidate> out;
+  if (unit.kind == ModelUnit::Kind::kHistogram) {
+    if (unit.quantizer.has_value()) {
+      // Numeric histogram: one candidate per bin, valued uniformly within.
+      out.reserve(unit.distribution.size());
+      for (size_t b = 0; b < unit.distribution.size(); ++b) {
+        Candidate c;
+        c.values = {Value::Numeric(
+            unit.quantizer->SampleWithin(static_cast<int>(b), rng))};
+        c.prob = unit.distribution[b];
+        out.push_back(std::move(c));
+      }
+    } else {
+      out.reserve(unit.distribution.size());
+      for (size_t idx = 0; idx < unit.distribution.size(); ++idx) {
+        Candidate c;
+        for (int32_t v : unit.DecodeJointIndex(idx)) {
+          c.values.push_back(Value::Categorical(v));
+        }
+        c.prob = unit.distribution[idx];
+        out.push_back(std::move(c));
+      }
+    }
+    return out;
+  }
+
+  // Discriminative unit.
+  const DiscriminativeModel& model = *unit.model;
+  if (model.target_is_categorical()) {
+    std::vector<double> probs = model.PredictCategorical(row);
+    out.reserve(probs.size());
+    for (size_t idx = 0; idx < probs.size(); ++idx) {
+      Candidate c;
+      for (int32_t v : model.DecodeJointIndex(idx)) {
+        c.values.push_back(Value::Categorical(v));
+      }
+      c.prob = probs[idx];
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  // Numeric target: draw d candidates from the predicted Gaussian, each
+  // weighted by its density (section 4.2). A few deterministic quantile
+  // points (mu, mu +- {0.5, 1, 2} sigma) are added so that at least some
+  // candidates cover the distribution's bulk even for small d, which gives
+  // the DC factor feasible values to choose from.
+  auto [mu, sigma] = model.PredictGaussian(row);
+  const Attribute& attr = schema.attribute(unit.attrs[0]);
+  if (sigma <= 0.0) sigma = 1e-3;
+  auto add_candidate = [&](double v) {
+    v = std::min(attr.max_value(), std::max(attr.min_value(), v));
+    Candidate cand;
+    cand.values = {Value::Numeric(v)};
+    cand.prob = GaussianPdf(v, mu, sigma);
+    out.push_back(std::move(cand));
+  };
+  out.reserve(options.max_candidates + 13);
+  for (double offset : {0.0, 0.5, -0.5, 1.0, -1.0, 2.0, -2.0}) {
+    add_candidate(mu + offset * sigma);
+  }
+  for (int c = 0; c < options.max_candidates; ++c) {
+    add_candidate(rng->Gaussian(mu, sigma));
+  }
+  // When DCs constrain this attribute, values already synthesized for it
+  // are strong candidates: order DCs treat equal values as consistent, so
+  // reusing them keeps the feasible set reachable even when it collapses
+  // to exact points. They still carry their model density, so improbable
+  // reuse stays improbable. The caller curates this list (nearest
+  // neighbours under active order DCs plus a few random recycled values).
+  for (double v : prior_values) add_candidate(v);
+  return out;
+}
+
+/// Installs a candidate's values into the row.
+void ApplyCandidate(const ModelUnit& unit, const Candidate& candidate,
+                    Table* table, size_t row_index) {
+  for (size_t i = 0; i < unit.attrs.size(); ++i) {
+    table->set(row_index, unit.attrs[i], candidate.values[i]);
+  }
+}
+
+/// Weighted violation penalty sum_phi w_phi * new_violations for the row
+/// as currently materialized.
+double ViolationPenalty(
+    const Row& row, const std::vector<size_t>& active,
+    const std::vector<WeightedConstraint>& constraints,
+    const std::vector<std::unique_ptr<ViolationIndex>>& indices) {
+  double penalty = 0.0;
+  for (size_t dc_index : active) {
+    const int64_t vio = indices[dc_index]->CountNew(row);
+    if (vio > 0) {
+      penalty += constraints[dc_index].EffectiveWeight() *
+                 static_cast<double>(vio);
+    }
+  }
+  return penalty;
+}
+
+/// Violation count of `row` (bound as row `self`) against every other row
+/// of the partially synthesized table, for the DCs in `active`. Used by the
+/// constrained MCMC pass, which must look at all rows, not just a prefix.
+double FullTablePenalty(const Row& row, size_t self, const Table& table,
+                        const std::vector<size_t>& active,
+                        const std::vector<WeightedConstraint>& constraints) {
+  double penalty = 0.0;
+  for (size_t dc_index : active) {
+    const DenialConstraint& dc = constraints[dc_index].dc;
+    int64_t vio = 0;
+    if (dc.is_unary()) {
+      vio = dc.ViolatesUnary(row) ? 1 : 0;
+    } else {
+      for (size_t j = 0; j < table.num_rows(); ++j) {
+        if (j == self) continue;
+        if (dc.ViolatesPair(row, table.row(j))) ++vio;
+      }
+    }
+    if (vio > 0) {
+      penalty += constraints[dc_index].EffectiveWeight() *
+                 static_cast<double>(vio);
+    }
+  }
+  return penalty;
+}
+
+/// True when the FD fast path may resolve this unit: single attribute and
+/// every active DC is a hard FD whose right-hand side is that attribute.
+bool FdFastPathApplies(const ModelUnit& unit, const std::vector<size_t>& active,
+                       const std::vector<WeightedConstraint>& constraints) {
+  if (unit.attrs.size() != 1 || active.empty()) return false;
+  for (size_t dc_index : active) {
+    const WeightedConstraint& wc = constraints[dc_index];
+    std::vector<size_t> lhs;
+    size_t rhs = 0;
+    if (!wc.hard || !wc.dc.AsFd(&lhs, &rhs) || rhs != unit.attrs[0]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Table> Synthesize(const ProbabilisticDataModel& model,
+                         const std::vector<WeightedConstraint>& constraints,
+                         size_t n, const KaminoOptions& options, Rng* rng,
+                         SynthesisTelemetry* telemetry) {
+  SynthesisTelemetry local_telemetry;
+  if (telemetry == nullptr) telemetry = &local_telemetry;
+
+  const Schema& schema = model.schema();
+  Table out(schema);
+  out.ResizeRows(n);
+
+  std::vector<std::vector<size_t>> active_by_pos =
+      ActivationPositions(model.sequence(), constraints);
+  std::vector<std::unique_ptr<ViolationIndex>> indices(constraints.size());
+
+  for (const ModelUnit& unit : model.units()) {
+    // Phi_{A_j}: the DCs whose attributes complete within this unit.
+    std::vector<size_t> active;
+    for (size_t p = unit.start_position;
+         p < unit.start_position + unit.attrs.size(); ++p) {
+      for (size_t dc_index : active_by_pos[p]) active.push_back(dc_index);
+    }
+    const bool use_dc_factor =
+        options.constraint_aware_sampling && !active.empty();
+    if (use_dc_factor) {
+      for (size_t dc_index : active) {
+        indices[dc_index] = MakeViolationIndex(constraints[dc_index].dc);
+      }
+    }
+    const bool fast_path = options.enable_fd_fast_path && use_dc_factor &&
+                           FdFastPathApplies(unit, active, constraints);
+
+    // Previously synthesized values of a DC-constrained numeric attribute
+    // are recycled as candidates (see GenerateCandidates).
+    const bool track_prior_values =
+        use_dc_factor && unit.attrs.size() == 1 &&
+        schema.attribute(unit.attrs[0]).is_numeric();
+    std::vector<double> prior_values;
+
+    // For active order DCs !(t1.X > t2.X & t1.Y < t2.Y) whose Y is this
+    // unit's attribute, keep (x, y) pairs of the prefix rows sorted by x:
+    // the y values of the x-nearest neighbours are (usually) feasible for
+    // a co-monotone relation and make excellent candidates.
+    struct OrderDcTracker {
+      size_t x_attr = 0;
+      std::vector<std::pair<double, double>> points;  // sorted by x
+    };
+    std::vector<OrderDcTracker> order_trackers;
+    if (track_prior_values) {
+      for (size_t dc_index : active) {
+        size_t x = 0, y = 0;
+        if (!constraints[dc_index].dc.AsOrderPair(&x, &y)) continue;
+        // Either side of the co-monotone pair may be the attribute being
+        // sampled; track against the other (already filled) side.
+        size_t other;
+        if (y == unit.attrs[0]) {
+          other = x;
+        } else if (x == unit.attrs[0]) {
+          other = y;
+        } else {
+          continue;
+        }
+        if (schema.attribute(other).is_numeric()) {
+          OrderDcTracker tracker;
+          tracker.x_attr = other;
+          order_trackers.push_back(tracker);
+        }
+      }
+    }
+    // For active hard FDs whose right-hand side is this *numeric*
+    // attribute, the group's established value is the only feasible
+    // candidate; surface it through the FD index.
+    std::vector<size_t> numeric_fd_dcs;
+    if (track_prior_values) {
+      for (size_t dc_index : active) {
+        std::vector<size_t> lhs;
+        size_t rhs = 0;
+        if (constraints[dc_index].dc.AsFd(&lhs, &rhs) && rhs == unit.attrs[0]) {
+          numeric_fd_dcs.push_back(dc_index);
+        }
+      }
+    }
+    auto nearest_y_values = [&](const Row& row) {
+      std::vector<double> values;
+      for (size_t dc_index : numeric_fd_dcs) {
+        if (indices[dc_index] == nullptr) continue;
+        std::optional<Value> forced = indices[dc_index]->FdForcedValue(row);
+        if (forced.has_value() && forced->is_numeric()) {
+          values.push_back(forced->numeric());
+        }
+      }
+      for (const OrderDcTracker& tracker : order_trackers) {
+        const double x = row[tracker.x_attr].numeric();
+        auto it = std::lower_bound(
+            tracker.points.begin(), tracker.points.end(),
+            std::make_pair(x, -std::numeric_limits<double>::infinity()));
+        for (int step = -2; step <= 2; ++step) {
+          auto jt = it + step;
+          if (jt >= tracker.points.begin() && jt < tracker.points.end()) {
+            values.push_back(jt->second);
+          }
+        }
+      }
+      return values;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      // Hard-FD fast path (section 7.3.6): copy the forced value from the
+      // previously synthesized rows of the same group, if one exists.
+      if (fast_path) {
+        std::optional<Value> forced;
+        for (size_t dc_index : active) {
+          forced = indices[dc_index]->FdForcedValue(out.row(i));
+          if (forced.has_value()) break;
+        }
+        if (forced.has_value()) {
+          out.set(i, unit.attrs[0], *forced);
+          ++telemetry->fd_fast_path_hits;
+          for (size_t dc_index : active) {
+            indices[dc_index]->AddRow(out.row(i));
+          }
+          continue;
+        }
+      }
+
+      std::vector<double> extra_values;
+      if (track_prior_values) {
+        extra_values = nearest_y_values(out.row(i));
+        for (int c = 0; c < 4 && !prior_values.empty(); ++c) {
+          extra_values.push_back(prior_values[static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(prior_values.size()) - 1))]);
+        }
+      }
+      std::vector<Candidate> candidates = GenerateCandidates(
+          unit, schema, out.row(i), options, extra_values, rng);
+      if (candidates.empty()) {
+        return Status::Internal("no candidates generated for attribute unit");
+      }
+
+      size_t chosen;
+      if (!use_dc_factor) {
+        // RandSampling ablation / no active DCs: i.i.d. tuple sampling.
+        std::vector<double> weights(candidates.size());
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          weights[c] = candidates[c].prob;
+        }
+        chosen = rng->Discrete(weights);
+      } else if (options.accept_reject) {
+        // Experiment 6: accept-reject sampling. Draw from p_{v|c}; accept
+        // with probability exp(-penalty); keep the last draw on exhaustion.
+        std::vector<double> proposal(candidates.size());
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          proposal[c] = candidates[c].prob;
+        }
+        chosen = candidates.size() - 1;
+        for (size_t attempt = 0; attempt < options.ar_max_tries; ++attempt) {
+          const size_t pick = rng->Discrete(proposal);
+          ++telemetry->ar_proposals;
+          ApplyCandidate(unit, candidates[pick], &out, i);
+          const double penalty =
+              ViolationPenalty(out.row(i), active, constraints, indices);
+          if (penalty <= 0.0 || rng->Bernoulli(std::exp(-penalty))) {
+            chosen = pick;
+            break;
+          }
+          chosen = pick;  // last sampled value if we never accept
+        }
+      } else {
+        // Constraint-aware direct sampling (Algorithm 3 line 10):
+        // P[v] proportional to p_{v|c} * exp(-sum w_phi * new_violations),
+        // computed in log space so hard-DC penalties stay comparable.
+        std::vector<double> log_scores(candidates.size());
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          ApplyCandidate(unit, candidates[c], &out, i);
+          const double penalty =
+              ViolationPenalty(out.row(i), active, constraints, indices);
+          log_scores[c] = std::log(candidates[c].prob + 1e-300) - penalty;
+        }
+        chosen = rng->Discrete(LogScoresToWeights(log_scores));
+      }
+
+      ApplyCandidate(unit, candidates[chosen], &out, i);
+      if (use_dc_factor) {
+        for (size_t dc_index : active) {
+          indices[dc_index]->AddRow(out.row(i));
+        }
+      }
+      if (track_prior_values) {
+        const double y = out.at(i, unit.attrs[0]).numeric();
+        prior_values.push_back(y);
+        for (OrderDcTracker& tracker : order_trackers) {
+          const double x = out.at(i, tracker.x_attr).numeric();
+          tracker.points.insert(
+              std::lower_bound(tracker.points.begin(), tracker.points.end(),
+                               std::make_pair(x, y)),
+              {x, y});
+        }
+      }
+    }
+
+    // Constrained MCMC (Algorithm 3 line 12): re-sample m random cells of
+    // this column group, conditioning on all other currently filled cells.
+    for (size_t r = 0; r < options.mcmc_resamples; ++r) {
+      const size_t i = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+      std::vector<double> extra_values;
+      if (track_prior_values) extra_values = nearest_y_values(out.row(i));
+      std::vector<Candidate> candidates = GenerateCandidates(
+          unit, schema, out.row(i), options, extra_values, rng);
+      if (candidates.empty()) continue;
+      std::vector<double> log_scores(candidates.size());
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        ApplyCandidate(unit, candidates[c], &out, i);
+        double penalty = 0.0;
+        if (use_dc_factor) {
+          penalty = FullTablePenalty(out.row(i), i, out, active, constraints);
+        }
+        log_scores[c] = std::log(candidates[c].prob + 1e-300) - penalty;
+      }
+      ApplyCandidate(
+          unit, candidates[rng->Discrete(LogScoresToWeights(log_scores))],
+          &out, i);
+      ++telemetry->mcmc_resamples;
+    }
+  }
+  return out;
+}
+
+}  // namespace kamino

@@ -1,0 +1,46 @@
+#ifndef KAMINO_CORE_SAMPLER_H_
+#define KAMINO_CORE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/core/model.h"
+#include "kamino/core/options.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+
+/// Counters describing one synthesis run (for the optimization
+/// experiments).
+struct SynthesisTelemetry {
+  /// Total accept-reject proposals drawn (AR mode only).
+  int64_t ar_proposals = 0;
+  /// Cells whose value was forced through the hard-FD lookup fast path.
+  int64_t fd_fast_path_hits = 0;
+  /// Cells re-sampled by the constrained MCMC pass.
+  int64_t mcmc_resamples = 0;
+};
+
+/// Algorithm 3: constraint-aware database instance sampling.
+///
+/// Builds a synthetic instance of `n` rows column-group by column-group in
+/// schema-sequence order. For every cell it combines the learned
+/// conditional probability p_{v|c} with the DC factor
+/// exp(-sum_phi w_phi * new_violations(v)) over the DCs whose attributes
+/// are fully sampled at this point (Phi_{A_j}), and samples from the
+/// normalized product (line 10). Honors the options' ablation switches:
+/// i.i.d. sampling (RandSampling), accept-reject sampling, the hard-FD
+/// fast path, and `mcmc_resamples` rounds of constrained re-sampling per
+/// column.
+///
+/// Runs entirely on the learned model - a post-processing step with no
+/// additional privacy cost.
+Result<Table> Synthesize(const ProbabilisticDataModel& model,
+                         const std::vector<WeightedConstraint>& constraints,
+                         size_t n, const KaminoOptions& options, Rng* rng,
+                         SynthesisTelemetry* telemetry = nullptr);
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_SAMPLER_H_

@@ -1,0 +1,105 @@
+#include "kamino/core/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kamino/core/sequencing.h"
+#include "kamino/dc/violations.h"
+#include "kamino/dp/gaussian.h"
+
+namespace kamino {
+namespace {
+
+constexpr double kInitialWeight = 5.0;
+constexpr double kWeightLearningRate = 0.5;
+constexpr double kMaxWeight = 10.0;
+
+}  // namespace
+
+Result<std::vector<double>> LearnDcWeights(
+    const Table& data, const std::vector<WeightedConstraint>& constraints,
+    const std::vector<size_t>& sequence, const KaminoOptions& options,
+    Rng* rng) {
+  const size_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty instance");
+
+  // Line 2: initial weights. Hard DCs are never re-fitted.
+  std::vector<double> weights(constraints.size(), kInitialWeight);
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (constraints[l].hard) weights[l] = constraints[l].EffectiveWeight();
+  }
+
+  // Lines 3-4: Bernoulli sample of expected size Lw, cropped to Lw so the
+  // violation-matrix sensitivity bound (Lemma 1) holds.
+  const double sample_prob =
+      std::min(1.0, static_cast<double>(options.weight_sample) /
+                        static_cast<double>(n));
+  Table sample = data.SampleRows(sample_prob, rng);
+  if (sample.num_rows() > options.weight_sample) {
+    sample = sample.Head(options.weight_sample);
+  }
+  if (sample.num_rows() == 0) return weights;
+
+  // Lines 5-7: noisy violation matrix, clamped at zero.
+  std::vector<std::vector<double>> matrix =
+      BuildViolationMatrix(sample, constraints);
+  int64_t num_unary = 0;
+  int64_t num_binary = 0;
+  for (const WeightedConstraint& wc : constraints) {
+    if (wc.dc.is_unary()) {
+      ++num_unary;
+    } else {
+      ++num_binary;
+    }
+  }
+  if (!options.non_private) {
+    const double sensitivity = ViolationMatrixSensitivity(
+        num_unary, num_binary,
+        static_cast<int64_t>(options.weight_sample));
+    for (auto& row : matrix) {
+      AddGaussianNoise(&row, options.sigma_w, sensitivity, rng);
+    }
+  }
+  for (auto& row : matrix) {
+    for (double& v : row) v = std::max(0.0, v);
+  }
+  // Normalize binary-DC columns to per-partner violation *rates* so the
+  // exp(-W . V) objective keeps usable gradients (raw counts grow with the
+  // sample size and saturate the exponential).
+  const double partners =
+      std::max<double>(1.0, static_cast<double>(sample.num_rows()) - 1.0);
+  for (auto& row : matrix) {
+    for (size_t l = 0; l < constraints.size(); ++l) {
+      if (!constraints[l].dc.is_unary()) row[l] /= partners;
+    }
+  }
+
+  // Lines 8-14 (post-processing): per active-DC gradient steps that
+  // maximize O = exp(-sum_l W[l] * V[i][l]); dO/dW[l] = -V[i][l] * O.
+  std::vector<std::vector<size_t>> active_by_pos =
+      ActivationPositions(sequence, constraints);
+  const size_t rows = sample.num_rows();
+  for (size_t pos = 0; pos < sequence.size(); ++pos) {
+    const std::vector<size_t>& active = active_by_pos[pos];
+    if (active.empty()) continue;
+    for (size_t e = 0; e < options.weight_iterations; ++e) {
+      const double batch_prob =
+          std::min(1.0, static_cast<double>(options.weight_batch) /
+                            static_cast<double>(rows));
+      for (size_t i = 0; i < rows; ++i) {
+        if (!rng->Bernoulli(batch_prob)) continue;
+        double exponent = 0.0;
+        for (size_t l : active) exponent += weights[l] * matrix[i][l];
+        const double objective = std::exp(-exponent);
+        for (size_t l : active) {
+          if (constraints[l].hard) continue;
+          weights[l] -= kWeightLearningRate * matrix[i][l] * objective;
+          weights[l] = std::clamp(weights[l], 0.0, kMaxWeight);
+        }
+      }
+    }
+  }
+  return weights;
+}
+
+}  // namespace kamino

@@ -1,0 +1,32 @@
+#ifndef KAMINO_CORE_WEIGHTS_H_
+#define KAMINO_CORE_WEIGHTS_H_
+
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/core/options.h"
+#include "kamino/data/table.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+
+/// Algorithm 5: private learning of DC weights.
+///
+/// Releases a noisy violation matrix over a small Bernoulli sample of at
+/// most `options.weight_sample` (Lw) tuples - the only private step - then
+/// fits weights as post-processing: starting from a large initial weight,
+/// each observed violation multiplicatively pulls the DC's weight toward
+/// zero by gradient steps on maximizing exp(-W . V[i]). DCs with no
+/// violations in the (noisy) sample keep a large weight; heavily violated
+/// DCs end up with small weights.
+///
+/// Returns one weight per constraint. Hard constraints keep their
+/// effectively-infinite weight and are not fitted.
+Result<std::vector<double>> LearnDcWeights(
+    const Table& data, const std::vector<WeightedConstraint>& constraints,
+    const std::vector<size_t>& sequence, const KaminoOptions& options,
+    Rng* rng);
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_WEIGHTS_H_

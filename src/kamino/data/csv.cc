@@ -1,0 +1,73 @@
+#include "kamino/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "kamino/common/strings.h"
+
+namespace kamino {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c > 0) out << ',';
+    out << schema.attribute(c).name();
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (c > 0) out << ',';
+      out << table.CellToString(r, c);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty csv: " + path);
+  std::vector<std::string> header = Split(line, ',');
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument("csv header arity mismatch in " + path);
+  }
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (std::string(Trim(header[c])) != schema.attribute(c).name()) {
+      return Status::InvalidArgument("csv header column " + std::to_string(c) +
+                                     " is '" + header[c] + "', expected '" +
+                                     schema.attribute(c).name() + "'");
+    }
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument("csv line " + std::to_string(line_no) +
+                                     " arity mismatch");
+    }
+    Row row(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      const Attribute& attr = schema.attribute(c);
+      std::string field(Trim(fields[c]));
+      if (attr.is_categorical()) {
+        KAMINO_ASSIGN_OR_RETURN(int32_t idx, attr.CategoryIndex(field));
+        row[c] = Value::Categorical(idx);
+      } else {
+        KAMINO_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+        row[c] = Value::Numeric(v);
+      }
+    }
+    KAMINO_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace kamino

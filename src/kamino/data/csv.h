@@ -1,0 +1,22 @@
+#ifndef KAMINO_DATA_CSV_H_
+#define KAMINO_DATA_CSV_H_
+
+#include <string>
+
+#include "kamino/common/status.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Writes `table` to `path` as a header-first CSV. Categorical cells are
+/// written as their labels, numeric cells as decimal numbers.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV produced by `WriteCsv` (or any CSV whose header matches the
+/// schema's attribute names in order), converting labels back to category
+/// indices and validating numeric cells against the domain.
+Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_CSV_H_

@@ -1,0 +1,340 @@
+#include "kamino/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+namespace {
+
+std::vector<std::string> NumberedLabels(const std::string& prefix, int count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+BenchmarkDataset MakeAdultLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const int kEduLevels = 16;
+  std::vector<Attribute> attrs = {
+      Attribute::MakeNumeric("age", 17, 90, 74),
+      Attribute::MakeCategorical("workclass", NumberedLabels("wc", 8)),
+      Attribute::MakeNumeric("fnlwgt", 10000, 1000000, 20000),
+      Attribute::MakeCategorical("edu", NumberedLabels("edu", kEduLevels)),
+      Attribute::MakeNumeric("edu_num", 1, 16, 16),
+      Attribute::MakeCategorical("marital", NumberedLabels("m", 7)),
+      Attribute::MakeCategorical("occupation", NumberedLabels("occ", 14)),
+      Attribute::MakeCategorical("relationship", NumberedLabels("rel", 6)),
+      Attribute::MakeCategorical("race", NumberedLabels("race", 5)),
+      Attribute::MakeCategorical("sex", {"female", "male"}),
+      Attribute::MakeNumeric("cap_gain", 0, 100000, 120),
+      Attribute::MakeNumeric("cap_loss", 0, 4400, 100),
+      Attribute::MakeNumeric("hours", 1, 99, 99),
+      Attribute::MakeCategorical("country", NumberedLabels("c", 20)),
+      Attribute::MakeCategorical("income", {"<=50k", ">50k"}),
+  };
+  Table table((Schema(attrs)));
+
+  for (size_t i = 0; i < n; ++i) {
+    // A latent socioeconomic factor drives the correlated attributes so
+    // that downstream classifiers have real signal to find.
+    double z = rng.Gaussian();
+    double age = std::clamp(38.0 + 13.0 * rng.Gaussian() + 4.0 * z, 17.0, 90.0);
+    int edu = std::clamp(
+        static_cast<int>(8.0 + 3.5 * z + 1.5 * rng.Gaussian()), 0,
+        kEduLevels - 1);
+    // phi_a1: edu -> edu_num is a deterministic FD in the truth.
+    double edu_num = edu + 1;
+    int workclass =
+        rng.Bernoulli(0.7) ? 0 : static_cast<int>(rng.UniformInt(1, 7));
+    double fnlwgt = std::clamp(190000.0 + 100000.0 * rng.Gaussian(), 10000.0,
+                               1000000.0);
+    int marital = rng.Bernoulli(Sigmoid(0.05 * (age - 30)))
+                      ? 0
+                      : static_cast<int>(rng.UniformInt(1, 6));
+    int occupation = std::clamp(
+        static_cast<int>(edu * 14.0 / kEduLevels + 2.0 * rng.Gaussian()), 0,
+        13);
+    int relationship = marital == 0 ? static_cast<int>(rng.UniformInt(0, 1))
+                                    : static_cast<int>(rng.UniformInt(2, 5));
+    int race = rng.Bernoulli(0.82) ? 0 : static_cast<int>(rng.UniformInt(1, 4));
+    int sex = rng.Bernoulli(0.67) ? 1 : 0;
+    double hours = std::clamp(40.0 + 6.0 * z + 8.0 * rng.Gaussian(), 1.0, 99.0);
+    double p_income = Sigmoid(-3.2 + 0.35 * edu_num + 0.03 * (age - 25) +
+                              0.04 * (hours - 35) + 0.5 * sex);
+    int income = rng.Bernoulli(p_income) ? 1 : 0;
+    double cap_gain = 0.0;
+    if (rng.Bernoulli(income == 1 ? 0.20 : 0.04)) {
+      cap_gain = std::clamp(std::exp(8.0 + 1.2 * rng.Gaussian()), 0.0, 100000.0);
+    }
+    // phi_a2: cap_loss is a deterministic non-decreasing function of
+    // cap_gain, so no tuple pair has higher gain but lower loss.
+    double cap_loss = std::floor(cap_gain / 25.0);
+    int country =
+        rng.Bernoulli(0.9) ? 0 : static_cast<int>(rng.UniformInt(1, 19));
+
+    Row row = {
+        Value::Numeric(std::round(age)),
+        Value::Categorical(workclass),
+        Value::Numeric(std::round(fnlwgt)),
+        Value::Categorical(edu),
+        Value::Numeric(edu_num),
+        Value::Categorical(marital),
+        Value::Categorical(occupation),
+        Value::Categorical(relationship),
+        Value::Categorical(race),
+        Value::Categorical(sex),
+        Value::Numeric(std::round(cap_gain)),
+        Value::Numeric(cap_loss),
+        Value::Numeric(std::round(hours)),
+        Value::Categorical(country),
+        Value::Categorical(income),
+    };
+    table.AppendRowUnchecked(std::move(row));
+  }
+
+  BenchmarkDataset ds;
+  ds.name = "adult";
+  ds.table = std::move(table);
+  ds.dc_specs = {
+      "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+      "!(t1.cap_gain > t2.cap_gain & t1.cap_loss < t2.cap_loss)",
+  };
+  ds.hardness = {true, true};
+  return ds;
+}
+
+BenchmarkDataset MakeBr2000Like(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  // Seven binary attributes first (exercises hyper-attribute grouping).
+  for (int i = 1; i <= 2; ++i) {
+    attrs.push_back(Attribute::MakeCategorical("a" + std::to_string(i),
+                                               NumberedLabels("v", 2)));
+  }
+  attrs.push_back(Attribute::MakeNumeric("a3", 0, 9, 10));
+  attrs.push_back(
+      Attribute::MakeCategorical("a4", NumberedLabels("v", 2)));
+  attrs.push_back(Attribute::MakeNumeric("a5", 0, 9, 10));
+  for (int i = 6; i <= 9; ++i) {
+    attrs.push_back(Attribute::MakeCategorical("a" + std::to_string(i),
+                                               NumberedLabels("v", 2)));
+  }
+  attrs.push_back(
+      Attribute::MakeCategorical("a10", NumberedLabels("v", 4)));
+  attrs.push_back(Attribute::MakeNumeric("a11", 0, 9, 10));
+  attrs.push_back(
+      Attribute::MakeCategorical("a12", NumberedLabels("v", 6)));
+  attrs.push_back(Attribute::MakeNumeric("a13", 0, 9, 10));
+  attrs.push_back(
+      Attribute::MakeCategorical("a14", NumberedLabels("v", 8)));
+  Table table((Schema(attrs)));
+
+  for (size_t i = 0; i < n; ++i) {
+    // Shared latent makes the ordinal attributes a3/a5/a11/a13 co-monotone
+    // up to a little noise, which yields the small (soft) violation rates
+    // the BR2000 DCs have in the truth.
+    double z = rng.Uniform(0.0, 1.0);
+    auto ordinal = [&](double noise_sd) {
+      double v = 9.0 * z + noise_sd * rng.Gaussian();
+      return std::clamp(std::round(v), 0.0, 9.0);
+    };
+    double a3 = ordinal(0.5);
+    double a5 = ordinal(0.5);
+    double a11 = ordinal(0.5);
+    double a13 = ordinal(0.5);
+    // a12 mostly follows a13 (so phi_b2's "different a12 but tied a13/a5"
+    // case is rare), with occasional off-by-one noise keeping it soft.
+    int a12 = std::clamp(
+        static_cast<int>(a13 * 6.0 / 10.0) + (rng.Bernoulli(0.08) ? 1 : 0), 0,
+        5);
+    Row row;
+    row.push_back(Value::Categorical(rng.Bernoulli(Sigmoid(2 * z - 1)) ? 1 : 0));
+    row.push_back(Value::Categorical(rng.Bernoulli(0.5) ? 1 : 0));
+    row.push_back(Value::Numeric(a3));
+    row.push_back(Value::Categorical(rng.Bernoulli(0.3) ? 1 : 0));
+    row.push_back(Value::Numeric(a5));
+    for (int b = 0; b < 4; ++b) {
+      row.push_back(
+          Value::Categorical(rng.Bernoulli(0.2 + 0.15 * b) ? 1 : 0));
+    }
+    row.push_back(
+        Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 3))));
+    row.push_back(Value::Numeric(a11));
+    row.push_back(Value::Categorical(a12));
+    row.push_back(Value::Numeric(a13));
+    row.push_back(
+        Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 7))));
+    table.AppendRowUnchecked(std::move(row));
+  }
+
+  BenchmarkDataset ds;
+  ds.name = "br2000";
+  ds.table = std::move(table);
+  ds.dc_specs = {
+      "!(t1.a13 == t2.a13 & t1.a11 < t2.a11 & t1.a3 > t2.a3)",
+      "!(t1.a12 != t2.a12 & t1.a13 <= t2.a13 & t1.a5 >= t2.a5)",
+      "!(t1.a5 <= t2.a5 & t1.a3 > t2.a3 & t1.a12 != t2.a12 & t1.a11 > t2.a11)",
+  };
+  ds.hardness = {false, false, false};
+  return ds;
+}
+
+BenchmarkDataset MakeTaxLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const int kZips = 300;     // scaled down from ~18k
+  const int kCities = 120;   // scaled down from ~16k
+  const int kStates = 50;
+  const int kAreaCodes = 100;
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("zip", NumberedLabels("z", kZips)),
+      Attribute::MakeCategorical("city", NumberedLabels("ct", kCities)),
+      Attribute::MakeCategorical("state", NumberedLabels("st", kStates)),
+      Attribute::MakeCategorical("areacode", NumberedLabels("ac", kAreaCodes)),
+      Attribute::MakeCategorical("has_child", {"no", "yes"}),
+      Attribute::MakeNumeric("child_exemp", 0, 3000, 60),
+      Attribute::MakeCategorical("marital", NumberedLabels("ms", 4)),
+      Attribute::MakeNumeric("single_exemp", 0, 5000, 80),
+      Attribute::MakeNumeric("salary", 10000, 200000, 1000),
+      Attribute::MakeNumeric("rate", 0, 25, 26),
+      Attribute::MakeCategorical("gender", {"f", "m"}),
+      Attribute::MakeNumeric("age", 18, 95, 78),
+  };
+  Table table((Schema(attrs)));
+
+  // Public-style deterministic lookups realize the FDs in the truth.
+  auto zip_to_city = [&](int zip) { return zip % kCities; };
+  auto zip_to_state = [&](int zip) { return zip % kStates; };
+  auto child_exemp_fn = [&](int state, int has_child) {
+    return has_child == 0 ? 0.0 : 500.0 + 50.0 * (state % 10);
+  };
+  auto single_exemp_fn = [&](int state, int marital) {
+    return marital == 0 ? 1000.0 + 80.0 * (state % 12) : 0.0;
+  };
+  // Per-state non-decreasing salary -> rate schedule (phi_t6).
+  auto rate_fn = [&](int state, double salary) {
+    double base = state % 5;
+    return std::min(25.0, base + std::floor(salary / 25000.0) * 2.0);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    int zip = static_cast<int>(rng.UniformInt(0, kZips - 1));
+    int state = zip_to_state(zip);
+    int city = zip_to_city(zip);
+    // Two area-code banks per state; both determine the state, so the FD
+    // areacode -> state holds exactly.
+    int ac = state + kStates * static_cast<int>(rng.UniformInt(0, 1));
+    if (ac >= kAreaCodes) ac = state;
+    int has_child = rng.Bernoulli(0.4) ? 1 : 0;
+    int marital = static_cast<int>(rng.UniformInt(0, 3));
+    double salary =
+        std::clamp(55000.0 + 35000.0 * rng.Gaussian(), 10000.0, 200000.0);
+    Row row = {
+        Value::Categorical(zip),
+        Value::Categorical(city),
+        Value::Categorical(state),
+        Value::Categorical(ac),
+        Value::Categorical(has_child),
+        Value::Numeric(child_exemp_fn(state, has_child)),
+        Value::Categorical(marital),
+        Value::Numeric(single_exemp_fn(state, marital)),
+        Value::Numeric(std::round(salary)),
+        Value::Numeric(rate_fn(state, salary)),
+        Value::Categorical(rng.Bernoulli(0.5) ? 1 : 0),
+        Value::Numeric(
+            std::clamp(std::round(45 + 15 * rng.Gaussian()), 18.0, 95.0)),
+    };
+    table.AppendRowUnchecked(std::move(row));
+  }
+
+  BenchmarkDataset ds;
+  ds.name = "tax";
+  ds.table = std::move(table);
+  ds.dc_specs = {
+      "!(t1.zip == t2.zip & t1.city != t2.city)",
+      "!(t1.areacode == t2.areacode & t1.state != t2.state)",
+      "!(t1.zip == t2.zip & t1.state != t2.state)",
+      "!(t1.state == t2.state & t1.has_child == t2.has_child & "
+      "t1.child_exemp != t2.child_exemp)",
+      "!(t1.state == t2.state & t1.marital == t2.marital & "
+      "t1.single_exemp != t2.single_exemp)",
+      "!(t1.state == t2.state & t1.salary > t2.salary & t1.rate < t2.rate)",
+  };
+  ds.hardness = {true, true, true, true, true, true};
+  return ds;
+}
+
+BenchmarkDataset MakeTpchLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const int kCustomers = 250;  // scaled down
+  const int kNations = 25;
+  const int kRegions = 5;
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("c_custkey", NumberedLabels("cust", kCustomers)),
+      Attribute::MakeCategorical("c_nationkey", NumberedLabels("n", kNations)),
+      Attribute::MakeCategorical("c_mktsegment", NumberedLabels("seg", 5)),
+      Attribute::MakeCategorical("n_name", NumberedLabels("nation", kNations)),
+      Attribute::MakeCategorical("n_regionkey", NumberedLabels("r", kRegions)),
+      Attribute::MakeCategorical("o_orderstatus", {"F", "O", "P"}),
+      Attribute::MakeNumeric("o_totalprice", 900, 500000, 5000),
+      Attribute::MakeCategorical("o_orderpriority", NumberedLabels("p", 5)),
+      Attribute::MakeNumeric("o_year", 1992, 1998, 7),
+  };
+  Table table((Schema(attrs)));
+
+  // Fixed customer dimension rows realize the FK-induced FDs.
+  std::vector<int> cust_nation(kCustomers), cust_segment(kCustomers);
+  for (int c = 0; c < kCustomers; ++c) {
+    cust_nation[c] = static_cast<int>(rng.UniformInt(0, kNations - 1));
+    cust_segment[c] = static_cast<int>(rng.UniformInt(0, 4));
+  }
+  auto nation_region = [&](int nation) { return nation % kRegions; };
+
+  for (size_t i = 0; i < n; ++i) {
+    int cust = static_cast<int>(rng.UniformInt(0, kCustomers - 1));
+    int nation = cust_nation[cust];
+    double price =
+        std::clamp(std::exp(10.2 + 0.8 * rng.Gaussian()), 900.0, 500000.0);
+    Row row = {
+        Value::Categorical(cust),
+        Value::Categorical(nation),
+        Value::Categorical(cust_segment[cust]),
+        Value::Categorical(nation),  // n_name is 1:1 with nationkey
+        Value::Categorical(nation_region(nation)),
+        Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 2))),
+        Value::Numeric(std::round(price)),
+        Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 4))),
+        Value::Numeric(static_cast<double>(rng.UniformInt(1992, 1998))),
+    };
+    table.AppendRowUnchecked(std::move(row));
+  }
+
+  BenchmarkDataset ds;
+  ds.name = "tpch";
+  ds.table = std::move(table);
+  ds.dc_specs = {
+      "!(t1.c_custkey == t2.c_custkey & t1.c_nationkey != t2.c_nationkey)",
+      "!(t1.c_custkey == t2.c_custkey & t1.c_mktsegment != t2.c_mktsegment)",
+      "!(t1.c_custkey == t2.c_custkey & t1.n_name != t2.n_name)",
+      "!(t1.n_name == t2.n_name & t1.n_regionkey != t2.n_regionkey)",
+  };
+  ds.hardness = {true, true, true, true};
+  return ds;
+}
+
+std::vector<BenchmarkDataset> MakeAllBenchmarks(size_t n, uint64_t seed) {
+  std::vector<BenchmarkDataset> out;
+  out.push_back(MakeAdultLike(n, seed));
+  out.push_back(MakeBr2000Like(n, seed + 1));
+  out.push_back(MakeTaxLike(n, seed + 2));
+  out.push_back(MakeTpchLike(n, seed + 3));
+  return out;
+}
+
+}  // namespace kamino

@@ -1,0 +1,42 @@
+#include "kamino/data/quantizer.h"
+
+#include <algorithm>
+
+namespace kamino {
+
+Quantizer::Quantizer(double min, double max, int q)
+    : min_(min), max_(max), q_(q), width_((max - min) / q) {
+  if (width_ <= 0) width_ = 1.0;
+}
+
+Result<Quantizer> Quantizer::Make(const Attribute& attr, int q) {
+  if (!attr.is_numeric()) {
+    return Status::InvalidArgument("quantizer requires a numeric attribute");
+  }
+  if (q < 1) return Status::InvalidArgument("quantizer requires q >= 1");
+  return Quantizer(attr.min_value(), attr.max_value(), q);
+}
+
+int Quantizer::BinOf(double value) const {
+  int bin = static_cast<int>((value - min_) / width_);
+  return std::clamp(bin, 0, q_ - 1);
+}
+
+double Quantizer::BinLow(int bin) const { return min_ + bin * width_; }
+
+double Quantizer::BinHigh(int bin) const {
+  return bin == q_ - 1 ? max_ : min_ + (bin + 1) * width_;
+}
+
+double Quantizer::Midpoint(int bin) const {
+  return 0.5 * (BinLow(bin) + BinHigh(bin));
+}
+
+double Quantizer::SampleWithin(int bin, Rng* rng) const {
+  double lo = BinLow(bin);
+  double hi = BinHigh(bin);
+  if (hi <= lo) return lo;
+  return rng->Uniform(lo, hi);
+}
+
+}  // namespace kamino

@@ -1,0 +1,54 @@
+#ifndef KAMINO_DATA_QUANTIZER_H_
+#define KAMINO_DATA_QUANTIZER_H_
+
+#include <cstdint>
+
+#include "kamino/common/rng.h"
+#include "kamino/common/status.h"
+#include "kamino/data/schema.h"
+
+namespace kamino {
+
+/// Equal-width binning of a numeric attribute's [min, max] domain into `q`
+/// bins (the `q` quantization parameter of Algorithm 2).
+///
+/// The first attribute in the schema sequence is learned as a (noisy)
+/// histogram; when it is numeric its domain is quantized with this helper,
+/// and sampled values are drawn uniformly within the chosen bin
+/// (Algorithm 3 line 2).
+class Quantizer {
+ public:
+  /// Builds a quantizer over the attribute's declared domain. Requires
+  /// `attr.is_numeric()` and q >= 1.
+  static Result<Quantizer> Make(const Attribute& attr, int q);
+
+  int num_bins() const { return q_; }
+  double bin_width() const { return width_; }
+
+  /// Bin index for a value; values outside the domain clamp to the edge bins.
+  int BinOf(double value) const;
+
+  /// Inclusive lower edge of the bin.
+  double BinLow(int bin) const;
+
+  /// Exclusive upper edge of the bin (inclusive for the last bin).
+  double BinHigh(int bin) const;
+
+  /// Midpoint representative of a bin.
+  double Midpoint(int bin) const;
+
+  /// Uniform random value within the bin.
+  double SampleWithin(int bin, Rng* rng) const;
+
+ private:
+  Quantizer(double min, double max, int q);
+
+  double min_;
+  double max_;
+  int q_;
+  double width_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_QUANTIZER_H_

@@ -1,0 +1,86 @@
+#include "kamino/data/schema.h"
+
+#include <cmath>
+#include <utility>
+
+namespace kamino {
+
+Attribute Attribute::MakeCategorical(std::string name,
+                                     std::vector<std::string> categories) {
+  Attribute a;
+  a.name_ = std::move(name);
+  a.type_ = AttributeType::kCategorical;
+  a.categories_ = std::move(categories);
+  for (size_t i = 0; i < a.categories_.size(); ++i) {
+    a.category_index_[a.categories_[i]] = static_cast<int32_t>(i);
+  }
+  return a;
+}
+
+Attribute Attribute::MakeNumeric(std::string name, double min_value,
+                                 double max_value,
+                                 int64_t nominal_cardinality) {
+  Attribute a;
+  a.name_ = std::move(name);
+  a.type_ = AttributeType::kNumeric;
+  a.min_value_ = min_value;
+  a.max_value_ = max_value;
+  a.nominal_cardinality_ = nominal_cardinality;
+  return a;
+}
+
+int64_t Attribute::DomainSize() const {
+  if (is_categorical()) return static_cast<int64_t>(categories_.size());
+  return nominal_cardinality_;
+}
+
+Result<int32_t> Attribute::CategoryIndex(const std::string& label) const {
+  auto it = category_index_.find(label);
+  if (it == category_index_.end()) {
+    return Status::NotFound("category '" + label + "' not in domain of " +
+                            name_);
+  }
+  return it->second;
+}
+
+Result<std::string> Attribute::CategoryLabel(int32_t index) const {
+  if (index < 0 || static_cast<size_t>(index) >= categories_.size()) {
+    return Status::OutOfRange("category index out of range for " + name_);
+  }
+  return categories_[static_cast<size_t>(index)];
+}
+
+bool Attribute::Contains(const Value& v) const {
+  if (is_categorical()) {
+    return v.is_categorical() && v.category() >= 0 &&
+           static_cast<size_t>(v.category()) < categories_.size();
+  }
+  return v.is_numeric() && v.numeric() >= min_value_ &&
+         v.numeric() <= max_value_;
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_[attributes_[i].name()] = i;
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute '" + name + "' not in schema");
+  }
+  return it->second;
+}
+
+double Schema::Log2DomainSize() const {
+  double bits = 0.0;
+  for (const Attribute& a : attributes_) {
+    int64_t d = a.DomainSize();
+    if (d > 1) bits += std::log2(static_cast<double>(d));
+  }
+  return bits;
+}
+
+}  // namespace kamino

@@ -1,0 +1,89 @@
+#ifndef KAMINO_DATA_SCHEMA_H_
+#define KAMINO_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/data/value.h"
+
+namespace kamino {
+
+/// The kind of an attribute's domain.
+enum class AttributeType { kCategorical, kNumeric };
+
+/// One column of a relation schema, including its (public) domain.
+///
+/// Kamino treats schema and domain information as public inputs: they are
+/// never derived from the private instance, so touching them costs no
+/// privacy budget (see paper section 4.3).
+class Attribute {
+ public:
+  /// Creates a categorical attribute whose domain is the given category
+  /// list. Category indices follow list order.
+  static Attribute MakeCategorical(std::string name,
+                                   std::vector<std::string> categories);
+
+  /// Creates a numeric attribute with an inclusive [min, max] domain and a
+  /// nominal count of distinct values (used for sequencing heuristics).
+  static Attribute MakeNumeric(std::string name, double min_value,
+                               double max_value, int64_t nominal_cardinality);
+
+  const std::string& name() const { return name_; }
+  AttributeType type() const { return type_; }
+  bool is_categorical() const { return type_ == AttributeType::kCategorical; }
+  bool is_numeric() const { return type_ == AttributeType::kNumeric; }
+
+  /// Number of categories (categorical) or the nominal distinct-value count
+  /// (numeric). Used for the sequencing heuristic and budget planning.
+  int64_t DomainSize() const;
+
+  /// Categorical accessors.
+  const std::vector<std::string>& categories() const { return categories_; }
+  Result<int32_t> CategoryIndex(const std::string& label) const;
+  Result<std::string> CategoryLabel(int32_t index) const;
+
+  /// Numeric accessors.
+  double min_value() const { return min_value_; }
+  double max_value() const { return max_value_; }
+
+  /// True if `v` is of the right kind and inside the domain.
+  bool Contains(const Value& v) const;
+
+ private:
+  std::string name_;
+  AttributeType type_ = AttributeType::kCategorical;
+  std::vector<std::string> categories_;
+  std::map<std::string, int32_t> category_index_;
+  double min_value_ = 0.0;
+  double max_value_ = 0.0;
+  int64_t nominal_cardinality_ = 0;
+};
+
+/// An ordered list of attributes; the relation schema R = {A1..Ak}.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// log2 of the product of all attribute domain sizes (the "Domain size"
+  /// column of Table 1, reported as ~2^x).
+  double Log2DomainSize() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_SCHEMA_H_

@@ -1,0 +1,63 @@
+#include "kamino/data/table.h"
+
+#include <sstream>
+
+namespace kamino {
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!schema_.attribute(i).Contains(row[i])) {
+      return Status::InvalidArgument("cell " + std::to_string(i) +
+                                     " outside domain of attribute " +
+                                     schema_.attribute(i).name());
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::ResizeRows(size_t n) {
+  rows_.assign(n, Row(schema_.size()));
+}
+
+std::vector<Value> Table::Column(size_t col) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+Table Table::SampleRows(double p, Rng* rng) const {
+  Table out(schema_);
+  for (const Row& r : rows_) {
+    if (rng->Bernoulli(p)) out.AppendRowUnchecked(r);
+  }
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  Table out(schema_);
+  for (size_t i = 0; i < rows_.size() && i < n; ++i) {
+    out.AppendRowUnchecked(rows_[i]);
+  }
+  return out;
+}
+
+std::string Table::CellToString(size_t row, size_t col) const {
+  const Value& v = rows_[row][col];
+  const Attribute& a = schema_.attribute(col);
+  if (a.is_categorical()) {
+    auto label = a.CategoryLabel(v.category());
+    return label.ok() ? label.value() : "<bad-category>";
+  }
+  std::ostringstream os;
+  os << v.numeric();
+  return os.str();
+}
+
+}  // namespace kamino

@@ -1,0 +1,67 @@
+#ifndef KAMINO_DATA_TABLE_H_
+#define KAMINO_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/common/status.h"
+#include "kamino/data/schema.h"
+#include "kamino/data/value.h"
+
+namespace kamino {
+
+/// A tuple of the relation; cells are positionally aligned with the schema.
+using Row = std::vector<Value>;
+
+/// A database instance: a schema plus a bag of rows.
+///
+/// Tables are row-major and value cells are validated against the schema on
+/// `AppendRow`. The synthesizers construct tables column-by-column, so
+/// `Table` also supports allocating `n` blank rows up front and writing
+/// individual cells.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.size(); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
+  void set(size_t row, size_t col, const Value& v) { rows_[row][col] = v; }
+
+  /// Appends a row after validating arity and per-cell domain membership.
+  Status AppendRow(Row row);
+
+  /// Appends a row without validation (hot path for generators/samplers
+  /// that construct values straight from the domain).
+  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Allocates `n` rows filled with default values, to be populated
+  /// column-by-column.
+  void ResizeRows(size_t n);
+
+  /// Returns one column as a vector.
+  std::vector<Value> Column(size_t col) const;
+
+  /// Returns a table with the same schema and a Bernoulli(p) subsample of
+  /// rows (the Poisson subsampling used by DP-SGD and weight learning).
+  Table SampleRows(double p, Rng* rng) const;
+
+  /// Returns a table with the first `n` rows (or all rows if fewer).
+  Table Head(size_t n) const;
+
+  /// Renders the cell as a human-readable string (category label or number).
+  std::string CellToString(size_t row, size_t col) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_TABLE_H_

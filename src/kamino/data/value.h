@@ -1,0 +1,84 @@
+#ifndef KAMINO_DATA_VALUE_H_
+#define KAMINO_DATA_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace kamino {
+
+/// A single cell of a relation.
+///
+/// Categorical values are stored as an index into the attribute's category
+/// list (the dictionary lives on the `Attribute`, not on the value), and
+/// numeric values as a double. Values are ordered: numeric values by their
+/// magnitude, categorical values by index. Comparing values of different
+/// kinds is a programmer error; predicates validate kinds at parse time.
+class Value {
+ public:
+  enum class Kind : uint8_t { kCategorical, kNumeric };
+
+  Value() : kind_(Kind::kNumeric), num_(0.0), cat_(0) {}
+
+  static Value Categorical(int32_t index) {
+    Value v;
+    v.kind_ = Kind::kCategorical;
+    v.cat_ = index;
+    return v;
+  }
+
+  static Value Numeric(double value) {
+    Value v;
+    v.kind_ = Kind::kNumeric;
+    v.num_ = value;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_categorical() const { return kind_ == Kind::kCategorical; }
+  bool is_numeric() const { return kind_ == Kind::kNumeric; }
+
+  /// Category index. Only meaningful for categorical values.
+  int32_t category() const { return cat_; }
+
+  /// Numeric payload. Only meaningful for numeric values.
+  double numeric() const { return num_; }
+
+  /// A single ordering key that works for either kind, used by predicate
+  /// evaluation: category index for categorical, payload for numeric.
+  double OrderKey() const {
+    return kind_ == Kind::kCategorical ? static_cast<double>(cat_) : num_;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    return a.kind_ == Kind::kCategorical ? a.cat_ == b.cat_
+                                         : a.num_ == b.num_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.OrderKey() < b.OrderKey();
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a.OrderKey() <= b.OrderKey();
+  }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return b <= a; }
+
+ private:
+  Kind kind_;
+  double num_;
+  int32_t cat_;
+};
+
+/// Hash functor so values can key unordered containers (e.g. the FD fast
+/// path index in the sampler).
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    size_t h = std::hash<double>()(v.OrderKey());
+    return h ^ (static_cast<size_t>(v.kind()) << 1);
+  }
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_VALUE_H_

@@ -1,0 +1,289 @@
+#include "kamino/dc/constraint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "kamino/common/strings.h"
+
+namespace kamino {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& a, CompareOp op, const Value& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+namespace {
+
+/// Parses "t1.attr" / "t2.attr" into (tuple, attr index). Returns NotFound
+/// for anything else so the caller can fall back to constant parsing.
+Result<std::pair<int, size_t>> ParseTupleRef(std::string_view token,
+                                             const Schema& schema) {
+  std::string_view t = Trim(token);
+  int tuple;
+  if (StartsWith(t, "t1.")) {
+    tuple = 0;
+  } else if (StartsWith(t, "t2.")) {
+    tuple = 1;
+  } else {
+    return Status::NotFound("not a tuple reference");
+  }
+  std::string attr_name(t.substr(3));
+  KAMINO_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(attr_name));
+  return std::make_pair(tuple, idx);
+}
+
+Result<CompareOp> FindOperator(std::string_view text, size_t* pos,
+                               size_t* len) {
+  // Two-character operators must be checked before their one-character
+  // prefixes.
+  static constexpr struct {
+    const char* text;
+    CompareOp op;
+  } kOps[] = {
+      {"==", CompareOp::kEq}, {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe},
+      {">=", CompareOp::kGe}, {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const auto& candidate : kOps) {
+    size_t p = text.find(candidate.text);
+    if (p != std::string_view::npos) {
+      *pos = p;
+      *len = std::string_view(candidate.text).size();
+      return candidate.op;
+    }
+  }
+  return Status::InvalidArgument("no comparison operator in predicate: '" +
+                                 std::string(text) + "'");
+}
+
+Result<Predicate> ParsePredicate(std::string_view text, const Schema& schema) {
+  size_t op_pos = 0;
+  size_t op_len = 0;
+  KAMINO_ASSIGN_OR_RETURN(CompareOp op, FindOperator(text, &op_pos, &op_len));
+  std::string_view lhs_text = Trim(text.substr(0, op_pos));
+  std::string_view rhs_text = Trim(text.substr(op_pos + op_len));
+
+  Predicate pred;
+  pred.op = op;
+  auto lhs = ParseTupleRef(lhs_text, schema);
+  if (!lhs.ok()) {
+    return Status::InvalidArgument("predicate lhs must be tN.attr: '" +
+                                   std::string(lhs_text) + "'");
+  }
+  pred.lhs_tuple = lhs.value().first;
+  pred.lhs_attr = lhs.value().second;
+  const Attribute& lhs_attr = schema.attribute(pred.lhs_attr);
+
+  auto rhs = ParseTupleRef(rhs_text, schema);
+  if (rhs.ok()) {
+    pred.rhs_is_constant = false;
+    pred.rhs_tuple = rhs.value().first;
+    pred.rhs_attr = rhs.value().second;
+    const Attribute& rhs_attr = schema.attribute(pred.rhs_attr);
+    if (lhs_attr.is_categorical() != rhs_attr.is_categorical()) {
+      return Status::InvalidArgument(
+          "predicate compares categorical with numeric attribute");
+    }
+    return pred;
+  }
+
+  // Constant operand: 'label' for categorical, number for numeric.
+  pred.rhs_is_constant = true;
+  if (!rhs_text.empty() && rhs_text.front() == '\'') {
+    if (rhs_text.size() < 2 || rhs_text.back() != '\'') {
+      return Status::InvalidArgument("unterminated label constant");
+    }
+    if (!lhs_attr.is_categorical()) {
+      return Status::InvalidArgument(
+          "label constant compared against numeric attribute " +
+          lhs_attr.name());
+    }
+    std::string label(rhs_text.substr(1, rhs_text.size() - 2));
+    KAMINO_ASSIGN_OR_RETURN(int32_t idx, lhs_attr.CategoryIndex(label));
+    pred.rhs_constant = Value::Categorical(idx);
+    return pred;
+  }
+  if (lhs_attr.is_categorical()) {
+    return Status::InvalidArgument(
+        "categorical attribute " + lhs_attr.name() +
+        " must be compared against a 'label' constant");
+  }
+  KAMINO_ASSIGN_OR_RETURN(double num, ParseDouble(rhs_text));
+  pred.rhs_constant = Value::Numeric(num);
+  return pred;
+}
+
+}  // namespace
+
+Result<DenialConstraint> DenialConstraint::Parse(const std::string& spec,
+                                                 const Schema& schema) {
+  std::string_view text = Trim(spec);
+  if (!StartsWith(text, "!(") || text.back() != ')') {
+    return Status::InvalidArgument("DC must have the form !(P1 & ... & Pm): " +
+                                   spec);
+  }
+  text = text.substr(2, text.size() - 3);
+  DenialConstraint dc;
+  std::set<size_t> attrs;
+  bool mentions_t2 = false;
+  for (const std::string& part : Split(text, '&')) {
+    if (Trim(part).empty()) {
+      return Status::InvalidArgument("empty predicate in DC: " + spec);
+    }
+    KAMINO_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate(part, schema));
+    attrs.insert(pred.lhs_attr);
+    if (pred.lhs_tuple == 1) mentions_t2 = true;
+    if (!pred.rhs_is_constant) {
+      attrs.insert(pred.rhs_attr);
+      if (pred.rhs_tuple == 1) mentions_t2 = true;
+    }
+    dc.predicates_.push_back(pred);
+  }
+  if (dc.predicates_.empty()) {
+    return Status::InvalidArgument("DC has no predicates: " + spec);
+  }
+  dc.is_unary_ = !mentions_t2;
+  dc.attributes_.assign(attrs.begin(), attrs.end());
+  return dc;
+}
+
+bool DenialConstraint::FiresOrdered(const Row& a, const Row& b) const {
+  for (const Predicate& p : predicates_) {
+    if (!p.Eval(a, b)) return false;
+  }
+  return true;
+}
+
+bool DenialConstraint::ViolatesPair(const Row& a, const Row& b) const {
+  return FiresOrdered(a, b) || FiresOrdered(b, a);
+}
+
+bool DenialConstraint::ViolatesUnary(const Row& a) const {
+  return FiresOrdered(a, a);
+}
+
+bool DenialConstraint::AsFd(std::vector<size_t>* lhs, size_t* rhs) const {
+  if (is_unary_) return false;
+  std::vector<size_t> eq_attrs;
+  std::vector<size_t> ne_attrs;
+  for (const Predicate& p : predicates_) {
+    // FD shape requires every predicate to compare the same attribute
+    // across the two tuples.
+    if (p.rhs_is_constant || p.lhs_attr != p.rhs_attr ||
+        p.lhs_tuple == p.rhs_tuple) {
+      return false;
+    }
+    if (p.op == CompareOp::kEq) {
+      eq_attrs.push_back(p.lhs_attr);
+    } else if (p.op == CompareOp::kNe) {
+      ne_attrs.push_back(p.lhs_attr);
+    } else {
+      return false;
+    }
+  }
+  if (eq_attrs.empty() || ne_attrs.size() != 1) return false;
+  if (lhs != nullptr) *lhs = eq_attrs;
+  if (rhs != nullptr) *rhs = ne_attrs[0];
+  return true;
+}
+
+bool DenialConstraint::AsOrderPair(size_t* x_attr, size_t* y_attr) const {
+  if (is_unary_ || predicates_.size() != 2) return false;
+  auto is_cross_order = [](const Predicate& p) {
+    return !p.rhs_is_constant && p.lhs_attr == p.rhs_attr &&
+           p.lhs_tuple != p.rhs_tuple &&
+           (p.op == CompareOp::kLt || p.op == CompareOp::kGt);
+  };
+  const Predicate& p0 = predicates_[0];
+  const Predicate& p1 = predicates_[1];
+  if (!is_cross_order(p0) || !is_cross_order(p1)) return false;
+  if (p0.lhs_attr == p1.lhs_attr) return false;
+  if (x_attr != nullptr) *x_attr = p0.lhs_attr;
+  if (y_attr != nullptr) *y_attr = p1.lhs_attr;
+  return true;
+}
+
+std::string DenialConstraint::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "!(";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    const Predicate& p = predicates_[i];
+    if (i > 0) os << " & ";
+    os << "t" << (p.lhs_tuple + 1) << "."
+       << schema.attribute(p.lhs_attr).name() << " " << CompareOpToString(p.op)
+       << " ";
+    if (p.rhs_is_constant) {
+      const Attribute& attr = schema.attribute(p.lhs_attr);
+      if (attr.is_categorical()) {
+        auto label = attr.CategoryLabel(p.rhs_constant.category());
+        os << "'" << (label.ok() ? label.value() : "?") << "'";
+      } else {
+        os << p.rhs_constant.numeric();
+      }
+    } else {
+      os << "t" << (p.rhs_tuple + 1) << "."
+         << schema.attribute(p.rhs_attr).name();
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+double WeightedConstraint::EffectiveWeight() const {
+  // exp(-40) ~ 4e-18 zeroes out any candidate that introduces a violation
+  // while staying finite for numerical safety.
+  return hard ? 40.0 : weight;
+}
+
+Result<std::vector<WeightedConstraint>> ParseConstraints(
+    const std::vector<std::string>& specs, const std::vector<bool>& hardness,
+    const Schema& schema) {
+  if (specs.size() != hardness.size()) {
+    return Status::InvalidArgument("specs/hardness size mismatch");
+  }
+  std::vector<WeightedConstraint> out;
+  out.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    KAMINO_ASSIGN_OR_RETURN(DenialConstraint dc,
+                            DenialConstraint::Parse(specs[i], schema));
+    WeightedConstraint wc;
+    wc.dc = std::move(dc);
+    wc.hard = hardness[i];
+    wc.weight = hardness[i] ? 40.0 : 1.0;
+    out.push_back(std::move(wc));
+  }
+  return out;
+}
+
+}  // namespace kamino

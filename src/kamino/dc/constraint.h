@@ -1,0 +1,117 @@
+#ifndef KAMINO_DC_CONSTRAINT_H_
+#define KAMINO_DC_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "kamino/common/status.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Comparison operators allowed in denial-constraint predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders an operator as its source syntax ("==", "!=", ...).
+const char* CompareOpToString(CompareOp op);
+
+/// Evaluates `a op b` under the Value ordering.
+bool EvalCompare(const Value& a, CompareOp op, const Value& b);
+
+/// One predicate of a DC: `tX.attr op tY.attr` or `tX.attr op constant`.
+///
+/// Tuple index 0 refers to `t1` in the source syntax and 1 to `t2`.
+struct Predicate {
+  int lhs_tuple = 0;
+  size_t lhs_attr = 0;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_constant = false;
+  int rhs_tuple = 0;
+  size_t rhs_attr = 0;
+  Value rhs_constant;
+
+  /// Evaluates against a pair of rows bound to (t1, t2).
+  bool Eval(const Row& t1, const Row& t2) const {
+    const Value& lhs = (lhs_tuple == 0 ? t1 : t2)[lhs_attr];
+    if (rhs_is_constant) return EvalCompare(lhs, op, rhs_constant);
+    const Value& rhs = (rhs_tuple == 0 ? t1 : t2)[rhs_attr];
+    return EvalCompare(lhs, op, rhs);
+  }
+};
+
+/// A denial constraint phi: "for all t1, t2: NOT (P1 & ... & Pm)".
+///
+/// Parsed from a compact textual syntax, e.g.
+///   `!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)`      (binary FD-shaped)
+///   `!(t1.age < 10 & t1.cap_gain > 1000000)`               (unary)
+/// Constants are numbers for numeric attributes or 'single-quoted' labels
+/// for categorical ones.
+class DenialConstraint {
+ public:
+  /// Parses `spec` against `schema`. Returns InvalidArgument for malformed
+  /// syntax, unknown attributes/labels, or kind-mismatched comparisons.
+  static Result<DenialConstraint> Parse(const std::string& spec,
+                                        const Schema& schema);
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// True if the DC only mentions tuple t1 (a single-tuple constraint).
+  bool is_unary() const { return is_unary_; }
+
+  /// The set A_phi of attribute indices mentioned anywhere in the DC,
+  /// sorted ascending.
+  const std::vector<size_t>& attributes() const { return attributes_; }
+
+  /// True when all predicates hold for the ordered binding (t1=a, t2=b).
+  bool FiresOrdered(const Row& a, const Row& b) const;
+
+  /// True when the unordered pair {a, b} violates the DC (either binding
+  /// orientation fires). For unary DCs this must not be used.
+  bool ViolatesPair(const Row& a, const Row& b) const;
+
+  /// True when the single tuple violates a unary DC.
+  bool ViolatesUnary(const Row& a) const;
+
+  /// If the DC has functional-dependency shape
+  ///   !(t1.X1 == t2.X1 & ... & t1.Xm == t2.Xm & t1.Y != t2.Y)
+  /// fills `lhs` with the X attribute indices and `rhs` with Y and returns
+  /// true. Used by the sequencing heuristic (Algorithm 4) and the FD fast
+  /// path in sampling.
+  bool AsFd(std::vector<size_t>* lhs, size_t* rhs) const;
+
+  /// If the DC is a two-predicate co-monotonicity ("order") constraint
+  ///   !(t1.X > t2.X & t1.Y < t2.Y)   (or mirrored comparison forms)
+  /// fills X and Y and returns true. Used by the repair baseline and by
+  /// the sampler's DC-aware candidate generation.
+  bool AsOrderPair(size_t* x_attr, size_t* y_attr) const;
+
+  /// Round-trips the DC back to source syntax.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<size_t> attributes_;
+  bool is_unary_ = false;
+};
+
+/// A DC together with its hardness/weight (paper: w_phi; hard DCs have
+/// effectively infinite weight).
+struct WeightedConstraint {
+  DenialConstraint dc;
+  /// exp(-weight * new_violations) multiplies the sampling probability.
+  double weight = 0.0;
+  bool hard = false;
+
+  /// The weight used in sampling: a large finite stand-in for infinity
+  /// when `hard`, otherwise `weight`.
+  double EffectiveWeight() const;
+};
+
+/// Parses a batch of DC specs with their hardness flags.
+Result<std::vector<WeightedConstraint>> ParseConstraints(
+    const std::vector<std::string>& specs, const std::vector<bool>& hardness,
+    const Schema& schema);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DC_CONSTRAINT_H_

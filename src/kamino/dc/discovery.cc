@@ -1,0 +1,67 @@
+#include "kamino/dc/discovery.h"
+
+#include <algorithm>
+
+#include "kamino/dc/constraint.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+double CandidateViolationRate(const DenialConstraint& dc, const Table& sample) {
+  return ViolationRatePercent(dc, sample) / 100.0;
+}
+
+}  // namespace
+
+std::vector<std::string> DiscoverApproximateDcs(const Table& table,
+                                                const DiscoveryOptions& options,
+                                                Rng* rng) {
+  const Schema& schema = table.schema();
+  Table sample = table.Head(options.sample_rows);
+  std::vector<std::string> found;
+
+  // Enumerate attribute pairs in a randomized order so that truncation at
+  // max_constraints yields a diverse set.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t x = 0; x < schema.size(); ++x) {
+    for (size_t y = 0; y < schema.size(); ++y) {
+      if (x != y) pairs.emplace_back(x, y);
+    }
+  }
+  rng->Shuffle(&pairs);
+
+  for (const auto& [x, y] : pairs) {
+    if (found.size() >= options.max_constraints) break;
+    const std::string& xn = schema.attribute(x).name();
+    const std::string& yn = schema.attribute(y).name();
+
+    // FD-shaped candidate X -> Y.
+    {
+      std::string spec =
+          "!(t1." + xn + " == t2." + xn + " & t1." + yn + " != t2." + yn + ")";
+      auto dc = DenialConstraint::Parse(spec, schema);
+      if (dc.ok() &&
+          CandidateViolationRate(dc.value(), sample) <=
+              options.max_violation_rate) {
+        found.push_back(spec);
+        continue;
+      }
+    }
+
+    // Order-shaped candidate: X and Y co-monotone (both numeric only).
+    if (schema.attribute(x).is_numeric() && schema.attribute(y).is_numeric()) {
+      std::string spec =
+          "!(t1." + xn + " > t2." + xn + " & t1." + yn + " < t2." + yn + ")";
+      auto dc = DenialConstraint::Parse(spec, schema);
+      if (dc.ok() &&
+          CandidateViolationRate(dc.value(), sample) <=
+              options.max_violation_rate) {
+        found.push_back(spec);
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace kamino

@@ -1,0 +1,38 @@
+#ifndef KAMINO_DC_DISCOVERY_H_
+#define KAMINO_DC_DISCOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Options for approximate denial-constraint discovery.
+struct DiscoveryOptions {
+  /// Keep a candidate DC when its violating-pair rate on the sample is at
+  /// most this fraction (approximate DCs, Pena et al. 2019).
+  double max_violation_rate = 0.01;
+  /// Evaluate candidates on at most this many sampled rows.
+  size_t sample_rows = 400;
+  /// Stop after this many constraints.
+  size_t max_constraints = 128;
+};
+
+/// Discovers approximate DCs from a (non-private) instance by enumerating
+/// two-predicate binary candidates over attribute pairs - FD-shaped
+/// (t1.X == t2.X & t1.Y != t2.Y) and order-shaped
+/// (t1.X > t2.X & t1.Y < t2.Y) - and keeping those that approximately hold.
+///
+/// This mirrors how Experiment 8 of the paper obtains large DC sets "to
+/// simulate the knowledge from the domain expert": discovery is treated as
+/// public input preparation, not as part of the private mechanism.
+std::vector<std::string> DiscoverApproximateDcs(const Table& table,
+                                                const DiscoveryOptions& options,
+                                                Rng* rng);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DC_DISCOVERY_H_

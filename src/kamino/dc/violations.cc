@@ -1,0 +1,252 @@
+#include "kamino/dc/violations.h"
+
+#include <unordered_map>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+namespace {
+
+/// Hash key for the left-hand-side attribute values of an FD group.
+struct FdKey {
+  std::vector<Value> values;
+
+  bool operator==(const FdKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!(values[i] == other.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct FdKeyHash {
+  size_t operator()(const FdKey& k) const {
+    size_t h = 1469598103934665603ull;
+    ValueHash vh;
+    for (const Value& v : k.values) {
+      h ^= vh(v);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+int64_t PairsOf(int64_t m) { return m * (m - 1) / 2; }
+
+/// Counts violating unordered pairs of an FD-shaped DC by grouping: within
+/// an LHS group of size g whose RHS value multiplicities are c_v, the
+/// violating pairs are C(g,2) - sum_v C(c_v,2).
+int64_t CountFdViolations(const std::vector<size_t>& lhs, size_t rhs,
+                          const Table& table) {
+  std::unordered_map<FdKey, std::unordered_map<Value, int64_t, ValueHash>,
+                     FdKeyHash>
+      groups;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const Row& row = table.row(i);
+    FdKey key;
+    key.values.reserve(lhs.size());
+    for (size_t a : lhs) key.values.push_back(row[a]);
+    ++groups[key][row[rhs]];
+  }
+  int64_t violations = 0;
+  for (const auto& [key, rhs_counts] : groups) {
+    int64_t group_size = 0;
+    int64_t same = 0;
+    for (const auto& [value, count] : rhs_counts) {
+      group_size += count;
+      same += PairsOf(count);
+    }
+    violations += PairsOf(group_size) - same;
+  }
+  return violations;
+}
+
+/// O(1)-per-candidate index for FD-shaped DCs.
+class FdViolationIndex : public ViolationIndex {
+ public:
+  FdViolationIndex(std::vector<size_t> lhs, size_t rhs)
+      : lhs_(std::move(lhs)), rhs_(rhs) {}
+
+  int64_t CountNew(const Row& row) const override {
+    auto it = groups_.find(KeyOf(row));
+    if (it == groups_.end()) return 0;
+    const GroupStats& g = it->second;
+    auto same = g.rhs_counts.find(row[rhs_]);
+    int64_t matching = same == g.rhs_counts.end() ? 0 : same->second;
+    return g.size - matching;
+  }
+
+  void AddRow(const Row& row) override {
+    GroupStats& g = groups_[KeyOf(row)];
+    ++g.size;
+    ++g.rhs_counts[row[rhs_]];
+    ++num_rows_;
+  }
+
+  std::optional<Value> FdForcedValue(const Row& row) const override {
+    auto it = groups_.find(KeyOf(row));
+    if (it == groups_.end() || it->second.rhs_counts.empty()) {
+      return std::nullopt;
+    }
+    // Report the majority RHS value of the group (in a violation-free
+    // instance the group has exactly one value).
+    const auto& counts = it->second.rhs_counts;
+    auto best = counts.begin();
+    for (auto jt = counts.begin(); jt != counts.end(); ++jt) {
+      if (jt->second > best->second) best = jt;
+    }
+    return best->first;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  struct GroupStats {
+    int64_t size = 0;
+    std::unordered_map<Value, int64_t, ValueHash> rhs_counts;
+  };
+
+  FdKey KeyOf(const Row& row) const {
+    FdKey key;
+    key.values.reserve(lhs_.size());
+    for (size_t a : lhs_) key.values.push_back(row[a]);
+    return key;
+  }
+
+  std::vector<size_t> lhs_;
+  size_t rhs_;
+  size_t num_rows_ = 0;
+  std::unordered_map<FdKey, GroupStats, FdKeyHash> groups_;
+};
+
+/// Unary DCs need no stored state: a tuple either violates or not.
+class UnaryViolationIndex : public ViolationIndex {
+ public:
+  explicit UnaryViolationIndex(const DenialConstraint& dc) : dc_(dc) {}
+
+  int64_t CountNew(const Row& row) const override {
+    return dc_.ViolatesUnary(row) ? 1 : 0;
+  }
+
+  void AddRow(const Row& row) override {
+    (void)row;
+    ++num_rows_;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  DenialConstraint dc_;
+  size_t num_rows_ = 0;
+};
+
+/// Fallback for general binary DCs: scans every committed row. The scan
+/// only materializes the attributes mentioned by the DC to keep the rows
+/// compact is unnecessary here since rows are shared; we store copies.
+class NaiveViolationIndex : public ViolationIndex {
+ public:
+  explicit NaiveViolationIndex(const DenialConstraint& dc) : dc_(dc) {}
+
+  int64_t CountNew(const Row& row) const override {
+    int64_t count = 0;
+    for (const Row& old : rows_) {
+      if (dc_.ViolatesPair(row, old)) ++count;
+    }
+    return count;
+  }
+
+  void AddRow(const Row& row) override { rows_.push_back(row); }
+
+  size_t size() const override { return rows_.size(); }
+
+ private:
+  DenialConstraint dc_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace
+
+int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
+  const size_t n = table.num_rows();
+  int64_t count = 0;
+  if (dc.is_unary()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (dc.ViolatesUnary(table.row(i))) ++count;
+    }
+    return count;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dc.ViolatesPair(table.row(i), table.row(j))) ++count;
+    }
+  }
+  return count;
+}
+
+int64_t CountViolations(const DenialConstraint& dc, const Table& table) {
+  std::vector<size_t> lhs;
+  size_t rhs = 0;
+  if (dc.AsFd(&lhs, &rhs)) return CountFdViolations(lhs, rhs, table);
+  return CountViolationsNaive(dc, table);
+}
+
+double ViolationRatePercent(const DenialConstraint& dc, const Table& table) {
+  const int64_t n = static_cast<int64_t>(table.num_rows());
+  if (n == 0) return 0.0;
+  const int64_t violations = CountViolations(dc, table);
+  const double denom =
+      dc.is_unary() ? static_cast<double>(n)
+                    : static_cast<double>(n) * (n - 1) / 2.0;
+  if (denom <= 0) return 0.0;
+  return 100.0 * static_cast<double>(violations) / denom;
+}
+
+int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
+                           const Table& table, size_t prefix_len) {
+  if (dc.is_unary()) return dc.ViolatesUnary(row) ? 1 : 0;
+  KAMINO_CHECK(prefix_len <= table.num_rows());
+  int64_t count = 0;
+  for (size_t j = 0; j < prefix_len; ++j) {
+    if (dc.ViolatesPair(row, table.row(j))) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<double>> BuildViolationMatrix(
+    const Table& table, const std::vector<WeightedConstraint>& constraints) {
+  const size_t n = table.num_rows();
+  std::vector<std::vector<double>> matrix(
+      n, std::vector<double>(constraints.size(), 0.0));
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    const DenialConstraint& dc = constraints[l].dc;
+    if (dc.is_unary()) {
+      for (size_t i = 0; i < n; ++i) {
+        matrix[i][l] = dc.ViolatesUnary(table.row(i)) ? 1.0 : 0.0;
+      }
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (dc.ViolatesPair(table.row(i), table.row(j))) {
+          matrix[i][l] += 1.0;
+          matrix[j][l] += 1.0;
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+std::unique_ptr<ViolationIndex> MakeViolationIndex(
+    const DenialConstraint& dc) {
+  if (dc.is_unary()) return std::make_unique<UnaryViolationIndex>(dc);
+  std::vector<size_t> lhs;
+  size_t rhs = 0;
+  if (dc.AsFd(&lhs, &rhs)) {
+    return std::make_unique<FdViolationIndex>(std::move(lhs), rhs);
+  }
+  return std::make_unique<NaiveViolationIndex>(dc);
+}
+
+}  // namespace kamino

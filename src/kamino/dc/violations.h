@@ -1,0 +1,77 @@
+#ifndef KAMINO_DC_VIOLATIONS_H_
+#define KAMINO_DC_VIOLATIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kamino/data/table.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+
+/// Counts the violations of `dc` over the whole instance:
+/// - unary DC: the number of violating tuples;
+/// - binary DC: the number of violating *unordered* tuple pairs (a pair
+///   violates when either binding orientation fires).
+/// Uses the FD grouping fast path when the DC has FD shape, and the naive
+/// O(n^2) scan otherwise.
+int64_t CountViolations(const DenialConstraint& dc, const Table& table);
+
+/// Forces the naive scan (reference implementation; used by tests to check
+/// the fast path and by benchmarks to measure the speedup).
+int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table);
+
+/// Violations as the percentage used by Table 2 of the paper:
+/// 100 * |V| / C(n, 2) for binary DCs, 100 * |V| / n for unary DCs.
+double ViolationRatePercent(const DenialConstraint& dc, const Table& table);
+
+/// Number of violations tuple `row` would add against rows [0, prefix_len)
+/// of `table` (the incremental count V(phi, t | D_:i) of Eqn. 3).
+int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
+                           const Table& table, size_t prefix_len);
+
+/// The |D| x |Phi| violation matrix of Algorithm 5: entry (i, l) is the
+/// number of violations of DC l caused by tuple i with respect to all other
+/// tuples of `table`.
+std::vector<std::vector<double>> BuildViolationMatrix(
+    const Table& table, const std::vector<WeightedConstraint>& constraints);
+
+/// Incremental per-DC index used by the constraint-aware sampler: rows are
+/// added as their relevant attributes get filled, and candidate rows can be
+/// scored for the number of *new* violations they would introduce.
+///
+/// Implementations: an O(1) hash-group index for FD-shaped DCs, a trivial
+/// evaluator for unary DCs, and a prefix-scan fallback for general binary
+/// DCs.
+class ViolationIndex {
+ public:
+  virtual ~ViolationIndex() = default;
+
+  /// New violations that `row` (with all attributes of the DC filled)
+  /// would introduce against the rows added so far.
+  virtual int64_t CountNew(const Row& row) const = 0;
+
+  /// Commits `row` to the index.
+  virtual void AddRow(const Row& row) = 0;
+
+  /// For FD-shaped DCs: the unique right-hand-side value already recorded
+  /// for this row's left-hand-side group, if any. Enables the hard-FD fast
+  /// path of section 7.3.6 (copy the forced value instead of scoring every
+  /// candidate). Returns nullopt for non-FD DCs or unseen groups.
+  virtual std::optional<Value> FdForcedValue(const Row& row) const {
+    (void)row;
+    return std::nullopt;
+  }
+
+  /// Number of rows committed so far.
+  virtual size_t size() const = 0;
+};
+
+/// Creates the best index implementation for `dc`.
+std::unique_ptr<ViolationIndex> MakeViolationIndex(const DenialConstraint& dc);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DC_VIOLATIONS_H_

@@ -1,0 +1,45 @@
+#include "kamino/dp/gaussian.h"
+
+#include <cmath>
+
+namespace kamino {
+
+double GaussianSigmaFor(double epsilon, double delta) {
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+void AddGaussianNoise(std::vector<double>* values, double sigma,
+                      double sensitivity, Rng* rng) {
+  const double sd = sigma * sensitivity;
+  for (double& v : *values) v += rng->Gaussian(0.0, sd);
+}
+
+std::vector<double> NoisyNormalizedHistogram(
+    const std::vector<double>& counts, double sigma_g, Rng* rng) {
+  std::vector<double> noisy = counts;
+  // One tuple changing moves one unit between two bins: L2 sensitivity
+  // sqrt(2), hence variance 2 * sigma_g^2 as in Algorithm 2 line 3.
+  const double sd = std::sqrt(2.0) * sigma_g;
+  double total = 0.0;
+  for (double& v : noisy) {
+    v += rng->Gaussian(0.0, sd);
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(noisy.size());
+    for (double& v : noisy) v = uniform;
+    return noisy;
+  }
+  for (double& v : noisy) v /= total;
+  return noisy;
+}
+
+double ViolationMatrixSensitivity(int64_t num_unary, int64_t num_binary,
+                                  int64_t sample_size) {
+  const double lw = static_cast<double>(sample_size);
+  return static_cast<double>(num_unary) +
+         static_cast<double>(num_binary) * std::sqrt(lw * lw - lw);
+}
+
+}  // namespace kamino

@@ -1,0 +1,36 @@
+#ifndef KAMINO_DP_GAUSSIAN_H_
+#define KAMINO_DP_GAUSSIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kamino/common/rng.h"
+
+namespace kamino {
+
+/// Classic calibration of the Gaussian mechanism: the noise scale sigma
+/// such that adding N(0, (sigma * sensitivity)^2) noise achieves
+/// (epsilon, delta)-DP for epsilon in (0, 1):
+///   sigma >= sqrt(2 ln(1.25/delta)) / epsilon.
+double GaussianSigmaFor(double epsilon, double delta);
+
+/// Adds i.i.d. N(0, (sigma * sensitivity)^2) noise to every element.
+void AddGaussianNoise(std::vector<double>* values, double sigma,
+                      double sensitivity, Rng* rng);
+
+/// Releases a noisy histogram: perturbs counts (L2 sensitivity sqrt(2) for
+/// one-tuple change between two bins; Algorithm 2 line 3 uses N(0, 2*sigma_g^2)),
+/// clamps negatives to zero and normalizes into a probability vector.
+/// If all noisy mass vanishes, falls back to uniform.
+std::vector<double> NoisyNormalizedHistogram(
+    const std::vector<double>& counts, double sigma_g, Rng* rng);
+
+/// L2 sensitivity of the |D| x |Phi| violation matrix of Algorithm 5
+/// (Lemma 1): |phi_u| + |phi_b| * sqrt(Lw^2 - Lw), where `num_unary` and
+/// `num_binary` count the unary/binary DCs and `sample_size` is Lw.
+double ViolationMatrixSensitivity(int64_t num_unary, int64_t num_binary,
+                                  int64_t sample_size);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DP_GAUSSIAN_H_

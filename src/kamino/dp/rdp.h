@@ -1,0 +1,86 @@
+#ifndef KAMINO_DP_RDP_H_
+#define KAMINO_DP_RDP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kamino/common/status.h"
+
+namespace kamino {
+
+/// The grid of Renyi orders alpha over which privacy costs are tracked and
+/// the tail bound is minimized. Integer orders 2..64 (the integer-moment
+/// form of Lemma 2 / Mironov et al. 2019).
+const std::vector<int>& RdpOrders();
+
+/// RDP cost epsilon(alpha) of one Gaussian mechanism invocation with noise
+/// multiplier `sigma` (sampling rate 1): alpha / (2 sigma^2).
+double GaussianRdp(double sigma, int alpha);
+
+/// RDP cost epsilon(alpha) of one step of the Sampled Gaussian Mechanism
+/// with Poisson sampling rate `q` and noise multiplier `sigma`:
+///   1/(alpha-1) * log( sum_{k=0}^{alpha} C(alpha,k) (1-q)^(alpha-k) q^k
+///                      * exp((k^2 - k) / (2 sigma^2)) ).
+/// (Integer-order upper bound of Mironov-Talwar-Zhang 2019. The paper's
+/// Lemma 2 prints the exponent as (alpha^2-alpha)/(2 sigma^2) without the
+/// log; we implement the standard, correct bound.)
+/// Requires q in [0, 1] and sigma > 0.
+double SampledGaussianRdp(double sigma, double q, int alpha);
+
+/// Accumulates RDP costs across adaptively composed mechanisms and
+/// converts to (epsilon, delta)-DP via the tail bound
+///   epsilon(delta) = min_alpha eps(alpha) + log(1/delta) / (alpha - 1).
+class RdpAccountant {
+ public:
+  RdpAccountant();
+
+  /// Composes `steps` invocations of the Gaussian mechanism (rate 1).
+  void AddGaussian(double sigma, int64_t steps = 1);
+
+  /// Composes `steps` invocations of the sampled Gaussian mechanism.
+  void AddSampledGaussian(double sigma, double q, int64_t steps = 1);
+
+  /// Current epsilon for the given delta.
+  double EpsilonFor(double delta) const;
+
+  /// Accumulated cost at a specific order (test hook).
+  double CostAt(int alpha) const;
+
+ private:
+  std::vector<double> costs_;  // aligned with RdpOrders()
+};
+
+/// The full parameterization Psi of Kamino's private steps (Theorem 1).
+struct KaminoPrivacyParams {
+  double sigma_g = 1.0;     ///< first-attribute histogram noise
+  /// Number of noisy-histogram releases: 1 for the first attribute plus one
+  /// per large-domain Gaussian-fallback attribute (section 4.3).
+  size_t num_histograms = 1;
+  double sigma_d = 1.1;     ///< DP-SGD noise multiplier
+  size_t batch_size = 16;   ///< b
+  size_t iterations = 100;  ///< T per sub-model
+  size_t num_models = 1;    ///< k - 1 discriminative sub-models
+  size_t num_rows = 1;      ///< n
+  bool learn_weights = false;
+  double sigma_w = 1.0;     ///< weight-learning noise multiplier
+  size_t weight_sample = 100;  ///< Lw
+};
+
+/// Smallest noise multiplier sigma such that `releases` adaptively
+/// composed Gaussian mechanism invocations stay within (epsilon, delta)
+/// under RDP accounting. Used by the baselines to calibrate their noise.
+double CalibrateGaussianSigma(int64_t releases, double epsilon, double delta);
+
+/// Smallest noise multiplier sigma such that `steps` sampled-Gaussian
+/// steps at rate q stay within (epsilon, delta).
+double CalibrateSgmSigma(int64_t steps, double q, double epsilon,
+                         double delta);
+
+/// Total (epsilon, delta)-DP cost of a Kamino run under Theorem 1:
+/// one Gaussian mechanism (sigma_g) + T*(k-1) SGM steps (sigma_d, q=b/n)
+/// + optionally one SGM release of the violation matrix (sigma_w, q=Lw/n).
+double KaminoEpsilon(const KaminoPrivacyParams& params, double delta);
+
+}  // namespace kamino
+
+#endif  // KAMINO_DP_RDP_H_

@@ -1,0 +1,646 @@
+#include "kamino/eval/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+namespace {
+
+constexpr size_t kOneHotLimit = 12;
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// ---------------------------------------------------------------------------
+// Logistic regression (SGD).
+// ---------------------------------------------------------------------------
+class LogisticRegression : public BinaryClassifier {
+ public:
+  void Fit(const LabeledData& train, Rng* rng) override {
+    (void)rng;
+    if (train.x.empty()) return;
+    w_.assign(train.x[0].size(), 0.0);
+    b_ = 0.0;
+    const double lr = 0.1;
+    for (int epoch = 0; epoch < 30; ++epoch) {
+      for (size_t i = 0; i < train.x.size(); ++i) {
+        double z = b_;
+        for (size_t f = 0; f < w_.size(); ++f) z += w_[f] * train.x[i][f];
+        const double err = Sigmoid(z) - train.y[i];
+        for (size_t f = 0; f < w_.size(); ++f) {
+          w_[f] -= lr * (err * train.x[i][f] + 1e-4 * w_[f]);
+        }
+        b_ -= lr * err;
+      }
+    }
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    double z = b_;
+    for (size_t f = 0; f < w_.size() && f < x.size(); ++f) z += w_[f] * x[f];
+    return z > 0.0 ? 1 : 0;
+  }
+
+  std::string name() const override { return "LogisticRegression"; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Gaussian naive Bayes.
+// ---------------------------------------------------------------------------
+class GaussianNaiveBayes : public BinaryClassifier {
+ public:
+  void Fit(const LabeledData& train, Rng* rng) override {
+    (void)rng;
+    if (train.x.empty()) return;
+    const size_t d = train.x[0].size();
+    for (int c = 0; c < 2; ++c) {
+      mean_[c].assign(d, 0.0);
+      var_[c].assign(d, 0.0);
+      count_[c] = 0;
+    }
+    for (size_t i = 0; i < train.x.size(); ++i) {
+      const int c = train.y[i];
+      ++count_[c];
+      for (size_t f = 0; f < d; ++f) mean_[c][f] += train.x[i][f];
+    }
+    for (int c = 0; c < 2; ++c) {
+      if (count_[c] == 0) continue;
+      for (size_t f = 0; f < d; ++f) mean_[c][f] /= count_[c];
+    }
+    for (size_t i = 0; i < train.x.size(); ++i) {
+      const int c = train.y[i];
+      for (size_t f = 0; f < d; ++f) {
+        const double diff = train.x[i][f] - mean_[c][f];
+        var_[c][f] += diff * diff;
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      if (count_[c] == 0) continue;
+      for (size_t f = 0; f < d; ++f) {
+        var_[c][f] = var_[c][f] / count_[c] + 1e-3;
+      }
+    }
+    total_ = train.x.size();
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    double best_score = -std::numeric_limits<double>::infinity();
+    int best = 0;
+    for (int c = 0; c < 2; ++c) {
+      if (count_[c] == 0) continue;
+      double score =
+          std::log(static_cast<double>(count_[c]) / std::max<size_t>(1, total_));
+      for (size_t f = 0; f < x.size() && f < mean_[c].size(); ++f) {
+        const double diff = x[f] - mean_[c][f];
+        score += -0.5 * (diff * diff / var_[c][f] + std::log(var_[c][f]));
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  std::string name() const override { return "GaussianNB"; }
+
+ private:
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+  size_t count_[2] = {0, 0};
+  size_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CART decision tree (gini).
+// ---------------------------------------------------------------------------
+class DecisionTree : public BinaryClassifier {
+ public:
+  explicit DecisionTree(int max_depth = 6, size_t min_leaf = 4)
+      : max_depth_(max_depth), min_leaf_(min_leaf) {}
+
+  void Fit(const LabeledData& train, Rng* rng) override {
+    (void)rng;
+    nodes_.clear();
+    std::vector<size_t> index(train.x.size());
+    for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+    Build(train, index, 0);
+  }
+
+  /// Fit on a bootstrap subset with optional feature subsampling (used by
+  /// the forest).
+  void FitSubset(const LabeledData& train, const std::vector<size_t>& index,
+                 const std::vector<size_t>& features) {
+    nodes_.clear();
+    allowed_features_ = features;
+    Build(train, index, 0);
+    allowed_features_.clear();
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    if (nodes_.empty()) return 0;
+    size_t node = 0;
+    while (!nodes_[node].leaf) {
+      node = x[nodes_[node].feature] <= nodes_[node].threshold
+                 ? nodes_[node].left
+                 : nodes_[node].right;
+    }
+    return nodes_[node].label;
+  }
+
+  std::string name() const override { return "DecisionTree"; }
+
+ private:
+  struct TreeNode {
+    bool leaf = true;
+    int label = 0;
+    size_t feature = 0;
+    double threshold = 0.0;
+    size_t left = 0;
+    size_t right = 0;
+  };
+
+  static double Gini(size_t pos, size_t total) {
+    if (total == 0) return 0.0;
+    const double p = static_cast<double>(pos) / total;
+    return 2.0 * p * (1.0 - p);
+  }
+
+  size_t Build(const LabeledData& train, const std::vector<size_t>& index,
+               int depth) {
+    const size_t node_id = nodes_.size();
+    nodes_.push_back(TreeNode());
+    size_t pos = 0;
+    for (size_t i : index) pos += train.y[i];
+    nodes_[node_id].label = pos * 2 >= index.size() ? 1 : 0;
+    if (depth >= max_depth_ || index.size() < 2 * min_leaf_ || pos == 0 ||
+        pos == index.size()) {
+      return node_id;
+    }
+
+    const size_t d = train.x.empty() ? 0 : train.x[0].size();
+    double best_gain = 1e-9;
+    size_t best_feature = 0;
+    double best_threshold = 0.0;
+    const double parent_gini = Gini(pos, index.size());
+
+    std::vector<size_t> features;
+    if (allowed_features_.empty()) {
+      for (size_t f = 0; f < d; ++f) features.push_back(f);
+    } else {
+      features = allowed_features_;
+    }
+
+    std::vector<double> values;
+    for (size_t f : features) {
+      values.clear();
+      for (size_t i : index) values.push_back(train.x[i][f]);
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (values.size() < 2) continue;
+      // Candidate thresholds: up to 16 quantile midpoints.
+      const size_t steps = std::min<size_t>(16, values.size() - 1);
+      for (size_t s = 1; s <= steps; ++s) {
+        const size_t vi = s * (values.size() - 1) / (steps + 1);
+        const double threshold = 0.5 * (values[vi] + values[vi + 1]);
+        size_t left_n = 0, left_pos = 0;
+        for (size_t i : index) {
+          if (train.x[i][f] <= threshold) {
+            ++left_n;
+            left_pos += train.y[i];
+          }
+        }
+        const size_t right_n = index.size() - left_n;
+        if (left_n < min_leaf_ || right_n < min_leaf_) continue;
+        const size_t right_pos = pos - left_pos;
+        const double child_gini =
+            (left_n * Gini(left_pos, left_n) + right_n * Gini(right_pos, right_n)) /
+            index.size();
+        const double gain = parent_gini - child_gini;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = threshold;
+        }
+      }
+    }
+    if (best_gain <= 1e-9) return node_id;
+
+    std::vector<size_t> left_index, right_index;
+    for (size_t i : index) {
+      if (train.x[i][best_feature] <= best_threshold) {
+        left_index.push_back(i);
+      } else {
+        right_index.push_back(i);
+      }
+    }
+    const size_t left = Build(train, left_index, depth + 1);
+    const size_t right = Build(train, right_index, depth + 1);
+    nodes_[node_id].leaf = false;
+    nodes_[node_id].feature = best_feature;
+    nodes_[node_id].threshold = best_threshold;
+    nodes_[node_id].left = left;
+    nodes_[node_id].right = right;
+    return node_id;
+  }
+
+  int max_depth_;
+  size_t min_leaf_;
+  std::vector<TreeNode> nodes_;
+  std::vector<size_t> allowed_features_;
+};
+
+// ---------------------------------------------------------------------------
+// Random forest (bagged trees with feature subsampling).
+// ---------------------------------------------------------------------------
+class RandomForest : public BinaryClassifier {
+ public:
+  explicit RandomForest(size_t num_trees = 8) : num_trees_(num_trees) {}
+
+  void Fit(const LabeledData& train, Rng* rng) override {
+    trees_.clear();
+    if (train.x.empty()) return;
+    const size_t n = train.x.size();
+    const size_t d = train.x[0].size();
+    const size_t feat_count =
+        std::max<size_t>(1, static_cast<size_t>(std::sqrt(double(d))) + 1);
+    for (size_t t = 0; t < num_trees_; ++t) {
+      std::vector<size_t> bootstrap(n);
+      for (size_t i = 0; i < n; ++i) {
+        bootstrap[i] =
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+      }
+      std::vector<size_t> all_features(d);
+      for (size_t f = 0; f < d; ++f) all_features[f] = f;
+      rng->Shuffle(&all_features);
+      all_features.resize(feat_count);
+      trees_.emplace_back(6, 4);
+      trees_.back().FitSubset(train, bootstrap, all_features);
+    }
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    int votes = 0;
+    for (const DecisionTree& tree : trees_) votes += tree.Predict(x);
+    return votes * 2 >= static_cast<int>(trees_.size()) ? 1 : 0;
+  }
+
+  std::string name() const override { return "RandomForest"; }
+
+ private:
+  size_t num_trees_;
+  std::vector<DecisionTree> trees_;
+};
+
+// ---------------------------------------------------------------------------
+// AdaBoost over decision stumps.
+// ---------------------------------------------------------------------------
+class AdaBoostStumps : public BinaryClassifier {
+ public:
+  explicit AdaBoostStumps(int rounds = 20) : rounds_(rounds) {}
+
+  void Fit(const LabeledData& train, Rng* rng) override {
+    (void)rng;
+    stumps_.clear();
+    if (train.x.empty()) return;
+    const size_t n = train.x.size();
+    const size_t d = train.x[0].size();
+    std::vector<double> w(n, 1.0 / n);
+    for (int round = 0; round < rounds_; ++round) {
+      Stump best;
+      double best_err = 0.5;
+      for (size_t f = 0; f < d; ++f) {
+        std::vector<double> values;
+        for (size_t i = 0; i < n; ++i) values.push_back(train.x[i][f]);
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()), values.end());
+        const size_t steps = std::min<size_t>(8, values.size());
+        for (size_t s = 0; s < steps; ++s) {
+          const double threshold = values[s * (values.size() - 1) /
+                                          std::max<size_t>(1, steps - 1)];
+          for (int polarity = 0; polarity < 2; ++polarity) {
+            double err = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              const int pred = StumpPredict(train.x[i][f], threshold, polarity);
+              if (pred != train.y[i]) err += w[i];
+            }
+            if (err < best_err) {
+              best_err = err;
+              best.feature = f;
+              best.threshold = threshold;
+              best.polarity = polarity;
+            }
+          }
+        }
+      }
+      if (best_err >= 0.5 - 1e-9) break;
+      best.alpha = 0.5 * std::log((1.0 - best_err) / std::max(1e-9, best_err));
+      double norm = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const int pred =
+            StumpPredict(train.x[i][best.feature], best.threshold, best.polarity);
+        const int y_signed = train.y[i] == 1 ? 1 : -1;
+        const int p_signed = pred == 1 ? 1 : -1;
+        w[i] *= std::exp(-best.alpha * y_signed * p_signed);
+        norm += w[i];
+      }
+      if (norm <= 0) break;
+      for (double& wi : w) wi /= norm;
+      stumps_.push_back(best);
+    }
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    double score = 0.0;
+    for (const Stump& s : stumps_) {
+      const int pred = StumpPredict(x[s.feature], s.threshold, s.polarity);
+      score += s.alpha * (pred == 1 ? 1.0 : -1.0);
+    }
+    return score >= 0.0 ? 1 : 0;
+  }
+
+  std::string name() const override { return "AdaBoost"; }
+
+ private:
+  struct Stump {
+    size_t feature = 0;
+    double threshold = 0.0;
+    int polarity = 0;
+    double alpha = 0.0;
+  };
+
+  static int StumpPredict(double v, double threshold, int polarity) {
+    const bool above = v > threshold;
+    return (polarity == 0) == above ? 1 : 0;
+  }
+
+  int rounds_;
+  std::vector<Stump> stumps_;
+};
+
+// ---------------------------------------------------------------------------
+// k-nearest neighbors (train subsampled for tractability).
+// ---------------------------------------------------------------------------
+class Knn : public BinaryClassifier {
+ public:
+  explicit Knn(size_t k = 5, size_t max_train = 400) : k_(k), max_train_(max_train) {}
+
+  void Fit(const LabeledData& train, Rng* rng) override {
+    data_.x.clear();
+    data_.y.clear();
+    if (train.x.empty()) return;
+    std::vector<size_t> index(train.x.size());
+    for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+    if (index.size() > max_train_) {
+      rng->Shuffle(&index);
+      index.resize(max_train_);
+    }
+    for (size_t i : index) {
+      data_.x.push_back(train.x[i]);
+      data_.y.push_back(train.y[i]);
+    }
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    if (data_.x.empty()) return 0;
+    std::vector<std::pair<double, int>> dist;
+    dist.reserve(data_.x.size());
+    for (size_t i = 0; i < data_.x.size(); ++i) {
+      double d2 = 0.0;
+      for (size_t f = 0; f < x.size() && f < data_.x[i].size(); ++f) {
+        const double diff = x[f] - data_.x[i][f];
+        d2 += diff * diff;
+      }
+      dist.emplace_back(d2, data_.y[i]);
+    }
+    const size_t k = std::min(k_, dist.size());
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    int votes = 0;
+    for (size_t i = 0; i < k; ++i) votes += dist[i].second;
+    return votes * 2 >= static_cast<int>(k) ? 1 : 0;
+  }
+
+  std::string name() const override { return "kNN"; }
+
+ private:
+  size_t k_;
+  size_t max_train_;
+  LabeledData data_;
+};
+
+// ---------------------------------------------------------------------------
+// One-hidden-layer MLP trained with plain SGD.
+// ---------------------------------------------------------------------------
+class Mlp : public BinaryClassifier {
+ public:
+  explicit Mlp(size_t hidden = 16) : hidden_(hidden) {}
+
+  void Fit(const LabeledData& train, Rng* rng) override {
+    if (train.x.empty()) return;
+    const size_t d = train.x[0].size();
+    w1_.assign(d * hidden_, 0.0);
+    b1_.assign(hidden_, 0.0);
+    w2_.assign(hidden_, 0.0);
+    b2_ = 0.0;
+    const double init = 1.0 / std::sqrt(static_cast<double>(d + 1));
+    for (double& w : w1_) w = rng->Gaussian(0.0, init);
+    for (double& w : w2_) w = rng->Gaussian(0.0, 0.25);
+    const double lr = 0.05;
+    std::vector<double> h(hidden_), grad_h(hidden_);
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      for (size_t i = 0; i < train.x.size(); ++i) {
+        // Forward.
+        for (size_t j = 0; j < hidden_; ++j) {
+          double z = b1_[j];
+          for (size_t f = 0; f < d; ++f) z += w1_[f * hidden_ + j] * train.x[i][f];
+          h[j] = std::max(0.0, z);
+        }
+        double z2 = b2_;
+        for (size_t j = 0; j < hidden_; ++j) z2 += w2_[j] * h[j];
+        const double err = Sigmoid(z2) - train.y[i];
+        // Backward.
+        for (size_t j = 0; j < hidden_; ++j) {
+          grad_h[j] = h[j] > 0.0 ? err * w2_[j] : 0.0;
+          w2_[j] -= lr * err * h[j];
+        }
+        b2_ -= lr * err;
+        for (size_t j = 0; j < hidden_; ++j) {
+          if (grad_h[j] == 0.0) continue;
+          for (size_t f = 0; f < d; ++f) {
+            w1_[f * hidden_ + j] -= lr * grad_h[j] * train.x[i][f];
+          }
+          b1_[j] -= lr * grad_h[j];
+        }
+      }
+    }
+  }
+
+  int Predict(const std::vector<double>& x) const override {
+    if (w2_.empty()) return 0;
+    double z2 = b2_;
+    for (size_t j = 0; j < hidden_; ++j) {
+      double z = b1_[j];
+      const size_t d = w1_.size() / hidden_;
+      for (size_t f = 0; f < d && f < x.size(); ++f) {
+        z += w1_[f * hidden_ + j] * x[f];
+      }
+      z2 += w2_[j] * std::max(0.0, z);
+    }
+    return z2 > 0.0 ? 1 : 0;
+  }
+
+  std::string name() const override { return "MLP"; }
+
+ private:
+  size_t hidden_;
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<BinaryClassifier>> MakeClassifierBasket() {
+  std::vector<std::unique_ptr<BinaryClassifier>> basket;
+  basket.push_back(std::make_unique<LogisticRegression>());
+  basket.push_back(std::make_unique<GaussianNaiveBayes>());
+  basket.push_back(std::make_unique<DecisionTree>());
+  basket.push_back(std::make_unique<RandomForest>());
+  basket.push_back(std::make_unique<AdaBoostStumps>());
+  basket.push_back(std::make_unique<Knn>());
+  basket.push_back(std::make_unique<Mlp>());
+  return basket;
+}
+
+ClassificationQuality Score(const BinaryClassifier& model,
+                            const LabeledData& test) {
+  size_t correct = 0, tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < test.x.size(); ++i) {
+    const int pred = model.Predict(test.x[i]);
+    if (pred == test.y[i]) ++correct;
+    if (pred == 1 && test.y[i] == 1) ++tp;
+    if (pred == 1 && test.y[i] == 0) ++fp;
+    if (pred == 0 && test.y[i] == 1) ++fn;
+  }
+  ClassificationQuality q;
+  q.accuracy = test.x.empty() ? 0.0 : static_cast<double>(correct) / test.x.size();
+  const double precision = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  const double recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  q.f1 = precision + recall == 0.0 ? 0.0
+                                   : 2.0 * precision * recall / (precision + recall);
+  return q;
+}
+
+LabelRule MakeLabelRule(const Table& truth, size_t attr) {
+  LabelRule rule;
+  rule.attr = attr;
+  const Attribute& a = truth.schema().attribute(attr);
+  rule.categorical = a.is_categorical();
+  if (rule.categorical) {
+    std::map<int32_t, size_t> counts;
+    for (size_t r = 0; r < truth.num_rows(); ++r) {
+      ++counts[truth.at(r, attr).category()];
+    }
+    size_t best_count = 0;
+    for (const auto& [cat, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        rule.majority_category = cat;
+      }
+    }
+  } else {
+    std::vector<double> values;
+    values.reserve(truth.num_rows());
+    for (size_t r = 0; r < truth.num_rows(); ++r) {
+      values.push_back(truth.at(r, attr).numeric());
+    }
+    std::sort(values.begin(), values.end());
+    rule.threshold = values.empty() ? 0.0 : values[values.size() / 2];
+  }
+  return rule;
+}
+
+LabeledData Encode(const Table& table, size_t label_attr,
+                   const LabelRule& rule) {
+  const Schema& schema = table.schema();
+  LabeledData data;
+  data.x.reserve(table.num_rows());
+  data.y.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<double> x;
+    for (size_t a = 0; a < schema.size(); ++a) {
+      if (a == label_attr) continue;
+      const Attribute& attr = schema.attribute(a);
+      const Value& v = table.at(r, a);
+      if (attr.is_numeric()) {
+        const double span = attr.max_value() - attr.min_value();
+        x.push_back(span > 0 ? (v.numeric() - attr.min_value()) / span : 0.0);
+      } else if (attr.categories().size() <= kOneHotLimit) {
+        for (size_t c = 0; c < attr.categories().size(); ++c) {
+          x.push_back(v.category() == static_cast<int32_t>(c) ? 1.0 : 0.0);
+        }
+      } else {
+        x.push_back(static_cast<double>(v.category()) /
+                    static_cast<double>(attr.categories().size()));
+      }
+    }
+    data.x.push_back(std::move(x));
+    data.y.push_back(rule.LabelOf(table.at(r, label_attr)));
+  }
+  return data;
+}
+
+std::vector<ClassificationQuality> EvaluateModelTraining(const Table& synthetic,
+                                                         const Table& truth,
+                                                         Rng* rng) {
+  const Schema& schema = truth.schema();
+  std::vector<ClassificationQuality> out;
+  out.reserve(schema.size());
+  const size_t train_rows = synthetic.num_rows() * 7 / 10;
+  const size_t test_start = truth.num_rows() * 7 / 10;
+
+  for (size_t attr = 0; attr < schema.size(); ++attr) {
+    const LabelRule rule = MakeLabelRule(truth, attr);
+    LabeledData train = Encode(synthetic.Head(train_rows), attr, rule);
+    // The paper tests on the held-out 30% of the true instance.
+    Table truth_test(truth.schema());
+    for (size_t r = test_start; r < truth.num_rows(); ++r) {
+      truth_test.AppendRowUnchecked(truth.row(r));
+    }
+    LabeledData test = Encode(truth_test, attr, rule);
+
+    ClassificationQuality mean;
+    auto basket = MakeClassifierBasket();
+    for (auto& model : basket) {
+      model->Fit(train, rng);
+      const ClassificationQuality q = Score(*model, test);
+      mean.accuracy += q.accuracy;
+      mean.f1 += q.f1;
+    }
+    mean.accuracy /= basket.size();
+    mean.f1 /= basket.size();
+    out.push_back(mean);
+  }
+  return out;
+}
+
+ClassificationQuality MeanQuality(
+    const std::vector<ClassificationQuality>& values) {
+  ClassificationQuality mean;
+  if (values.empty()) return mean;
+  for (const ClassificationQuality& q : values) {
+    mean.accuracy += q.accuracy;
+    mean.f1 += q.f1;
+  }
+  mean.accuracy /= values.size();
+  mean.f1 /= values.size();
+  return mean;
+}
+
+}  // namespace kamino

@@ -1,0 +1,81 @@
+#ifndef KAMINO_EVAL_CLASSIFIERS_H_
+#define KAMINO_EVAL_CLASSIFIERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Dense feature matrix + binary labels.
+struct LabeledData {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;  // 0/1
+};
+
+/// Interface of the basket classifiers (Metric II). Mirrors the paper's
+/// use of a fixed set of off-the-shelf models averaged per attribute.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+  virtual void Fit(const LabeledData& train, Rng* rng) = 0;
+  virtual int Predict(const std::vector<double>& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The model basket: logistic regression, Gaussian naive Bayes, decision
+/// tree, random forest, AdaBoost (stumps), k-nearest-neighbors and a small
+/// MLP - the offline stand-in for the paper's nine sklearn models.
+std::vector<std::unique_ptr<BinaryClassifier>> MakeClassifierBasket();
+
+/// Accuracy and (positive-class) F1 of predictions against labels.
+struct ClassificationQuality {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+};
+
+ClassificationQuality Score(const BinaryClassifier& model,
+                            const LabeledData& test);
+
+/// How the label attribute is binarized. Derived from the *true* instance
+/// so that the same task definition applies to every synthesizer:
+/// categorical attributes test "is the majority category", numeric ones
+/// "is above the true median".
+struct LabelRule {
+  size_t attr = 0;
+  bool categorical = false;
+  int32_t majority_category = 0;
+  double threshold = 0.0;
+
+  int LabelOf(const Value& v) const {
+    if (categorical) return v.category() == majority_category ? 1 : 0;
+    return v.numeric() > threshold ? 1 : 0;
+  }
+};
+
+/// Builds the label rule for attribute `attr` from the true instance.
+LabelRule MakeLabelRule(const Table& truth, size_t attr);
+
+/// Encodes `table` into features (all attributes except `label_attr`;
+/// categorical one-hot up to 12 categories, index-scaled beyond; numeric
+/// standardized by public domain statistics) and labels per `rule`.
+LabeledData Encode(const Table& table, size_t label_attr,
+                   const LabelRule& rule);
+
+/// Metric II end-to-end: for every attribute, trains the basket on 70% of
+/// `synthetic` and tests on 30% of `truth` (the paper's split), averaging
+/// accuracy and F1 over the basket. Returns one entry per attribute.
+std::vector<ClassificationQuality> EvaluateModelTraining(const Table& synthetic,
+                                                         const Table& truth,
+                                                         Rng* rng);
+
+/// Mean accuracy and F1 over a per-attribute quality vector.
+ClassificationQuality MeanQuality(
+    const std::vector<ClassificationQuality>& values);
+
+}  // namespace kamino
+
+#endif  // KAMINO_EVAL_CLASSIFIERS_H_

@@ -1,0 +1,123 @@
+#include "kamino/eval/marginals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "kamino/common/logging.h"
+#include "kamino/data/quantizer.h"
+
+namespace kamino {
+namespace {
+
+/// Flattens one row's values over `attrs` into a joint cell id.
+size_t CellOf(const Table& table, size_t row, const std::vector<size_t>& attrs,
+              const std::vector<int>& cardinalities,
+              const std::vector<std::optional<Quantizer>>& quantizers) {
+  size_t cell = 0;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    const Value& v = table.at(row, attrs[i]);
+    int bucket;
+    if (quantizers[i].has_value()) {
+      bucket = quantizers[i]->BinOf(v.numeric());
+    } else {
+      bucket = v.category();
+    }
+    cell = cell * static_cast<size_t>(cardinalities[i]) +
+           static_cast<size_t>(bucket);
+  }
+  return cell;
+}
+
+std::unordered_map<size_t, double> Histogram(
+    const Table& table, const std::vector<size_t>& attrs,
+    const std::vector<int>& cardinalities,
+    const std::vector<std::optional<Quantizer>>& quantizers) {
+  std::unordered_map<size_t, double> hist;
+  const double weight =
+      table.num_rows() == 0 ? 0.0 : 1.0 / static_cast<double>(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    hist[CellOf(table, r, attrs, cardinalities, quantizers)] += weight;
+  }
+  return hist;
+}
+
+}  // namespace
+
+double MarginalDistance(const Table& synthetic, const Table& truth,
+                        const std::vector<size_t>& attrs, int numeric_bins) {
+  const Schema& schema = truth.schema();
+  std::vector<int> cardinalities;
+  std::vector<std::optional<Quantizer>> quantizers;
+  for (size_t a : attrs) {
+    const Attribute& attr = schema.attribute(a);
+    if (attr.is_numeric()) {
+      auto q = Quantizer::Make(attr, numeric_bins);
+      KAMINO_CHECK(q.ok()) << q.status().ToString();
+      quantizers.push_back(q.value());
+      cardinalities.push_back(numeric_bins);
+    } else {
+      quantizers.push_back(std::nullopt);
+      cardinalities.push_back(static_cast<int>(attr.categories().size()));
+    }
+  }
+  auto h_syn = Histogram(synthetic, attrs, cardinalities, quantizers);
+  auto h_true = Histogram(truth, attrs, cardinalities, quantizers);
+  double max_diff = 0.0;
+  for (const auto& [cell, p] : h_true) {
+    auto it = h_syn.find(cell);
+    const double q = it == h_syn.end() ? 0.0 : it->second;
+    max_diff = std::max(max_diff, std::abs(p - q));
+  }
+  for (const auto& [cell, q] : h_syn) {
+    if (h_true.find(cell) == h_true.end()) {
+      max_diff = std::max(max_diff, q);
+    }
+  }
+  return max_diff;
+}
+
+std::vector<double> OneWayMarginalDistances(const Table& synthetic,
+                                            const Table& truth,
+                                            int numeric_bins) {
+  std::vector<double> out;
+  for (size_t a = 0; a < truth.schema().size(); ++a) {
+    out.push_back(MarginalDistance(synthetic, truth, {a}, numeric_bins));
+  }
+  return out;
+}
+
+std::vector<double> TwoWayMarginalDistances(const Table& synthetic,
+                                            const Table& truth,
+                                            int numeric_bins, size_t num_pairs,
+                                            Rng* rng) {
+  const size_t k = truth.schema().size();
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
+  }
+  if (pairs.size() > num_pairs) {
+    rng->Shuffle(&pairs);
+    pairs.resize(num_pairs);
+  }
+  std::vector<double> out;
+  for (const auto& [a, b] : pairs) {
+    out.push_back(MarginalDistance(synthetic, truth, {a, b}, numeric_bins));
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double MaxOf(const std::vector<double>& values) {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace kamino

@@ -1,0 +1,41 @@
+#ifndef KAMINO_EVAL_MARGINALS_H_
+#define KAMINO_EVAL_MARGINALS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Metric III of the paper: for the attribute set `attrs`, builds the
+/// alpha-way marginal (joint histogram, numeric attributes quantized into
+/// `numeric_bins` equal-width bins over their public domain) on both
+/// tables and returns the paper's distance
+///   max_a | h(synthetic)[a] - h(truth)[a] |
+/// over all cells a of the marginal.
+double MarginalDistance(const Table& synthetic, const Table& truth,
+                        const std::vector<size_t>& attrs, int numeric_bins);
+
+/// Distances of every 1-way marginal, one per attribute.
+std::vector<double> OneWayMarginalDistances(const Table& synthetic,
+                                            const Table& truth,
+                                            int numeric_bins);
+
+/// Distances of `num_pairs` 2-way marginals over randomly chosen attribute
+/// pairs (all pairs when the schema has at most `num_pairs` pairs).
+std::vector<double> TwoWayMarginalDistances(const Table& synthetic,
+                                            const Table& truth,
+                                            int numeric_bins, size_t num_pairs,
+                                            Rng* rng);
+
+/// Mean of a distance vector (the headline number quoted in section 7).
+double MeanOf(const std::vector<double>& values);
+
+/// Max of a distance vector.
+double MaxOf(const std::vector<double>& values);
+
+}  // namespace kamino
+
+#endif  // KAMINO_EVAL_MARGINALS_H_

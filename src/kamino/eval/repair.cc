@@ -1,0 +1,80 @@
+#include "kamino/eval/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace kamino {
+namespace {
+
+/// Majority-vote repair of an FD X -> Y.
+void RepairFd(const std::vector<size_t>& lhs, size_t rhs, Table* table) {
+  // Group rows by LHS values.
+  std::map<std::vector<double>, std::vector<size_t>> groups;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<double> key;
+    key.reserve(lhs.size());
+    for (size_t a : lhs) key.push_back(table->at(r, a).OrderKey());
+    groups[std::move(key)].push_back(r);
+  }
+  for (const auto& [key, rows] : groups) {
+    // Majority RHS value within the group.
+    std::map<double, std::pair<size_t, Value>> counts;
+    for (size_t r : rows) {
+      const Value& v = table->at(r, rhs);
+      auto& slot = counts[v.OrderKey()];
+      ++slot.first;
+      slot.second = v;
+    }
+    size_t best_count = 0;
+    Value majority;
+    for (const auto& [ok, slot] : counts) {
+      if (slot.first > best_count) {
+        best_count = slot.first;
+        majority = slot.second;
+      }
+    }
+    for (size_t r : rows) table->set(r, rhs, majority);
+  }
+}
+
+/// Rank-matching repair for a co-monotonicity DC: reassigns Y values so
+/// that sorting by X also sorts Y.
+void RepairOrder(size_t x_attr, size_t y_attr, Table* table) {
+  const size_t n = table->num_rows();
+  std::vector<size_t> by_x(n);
+  std::iota(by_x.begin(), by_x.end(), 0);
+  std::stable_sort(by_x.begin(), by_x.end(), [&](size_t a, size_t b) {
+    return table->at(a, x_attr).OrderKey() < table->at(b, x_attr).OrderKey();
+  });
+  std::vector<Value> y_values;
+  y_values.reserve(n);
+  for (size_t r = 0; r < n; ++r) y_values.push_back(table->at(r, y_attr));
+  std::stable_sort(y_values.begin(), y_values.end(),
+                   [](const Value& a, const Value& b) {
+                     return a.OrderKey() < b.OrderKey();
+                   });
+  for (size_t rank = 0; rank < n; ++rank) {
+    table->set(by_x[rank], y_attr, y_values[rank]);
+  }
+}
+
+}  // namespace
+
+Table RepairViolations(const Table& table,
+                       const std::vector<WeightedConstraint>& constraints) {
+  Table repaired = table;
+  for (const WeightedConstraint& wc : constraints) {
+    std::vector<size_t> lhs;
+    size_t rhs = 0;
+    size_t x_attr = 0, y_attr = 0;
+    if (wc.dc.AsFd(&lhs, &rhs)) {
+      RepairFd(lhs, rhs, &repaired);
+    } else if (wc.dc.AsOrderPair(&x_attr, &y_attr)) {
+      RepairOrder(x_attr, y_attr, &repaired);
+    }
+  }
+  return repaired;
+}
+
+}  // namespace kamino

@@ -1,0 +1,27 @@
+#ifndef KAMINO_EVAL_REPAIR_H_
+#define KAMINO_EVAL_REPAIR_H_
+
+#include <vector>
+
+#include "kamino/data/table.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+
+/// Post-hoc constraint repair, standing in for the HoloClean cleaning step
+/// of Figure 1 ("cleaned" series).
+///
+/// For FD-shaped DCs X -> Y the repair sets every group's Y to the group's
+/// majority value (minimal-change repair). For order-shaped binary DCs
+/// (t1.X > t2.X & t1.Y < t2.Y) it reassigns the Y values so that their
+/// ranking matches the X ranking, preserving the Y marginal but enforcing
+/// co-monotonicity. Other DC shapes are left untouched.
+///
+/// The point of Figure 1 is precisely that this restores consistency while
+/// damaging downstream utility; this function reproduces that mechanism.
+Table RepairViolations(const Table& table,
+                       const std::vector<WeightedConstraint>& constraints);
+
+}  // namespace kamino
+
+#endif  // KAMINO_EVAL_REPAIR_H_

@@ -1,0 +1,139 @@
+#include "kamino/nn/discriminative.h"
+
+#include <cmath>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+
+DiscriminativeModel::DiscriminativeModel(const Schema& schema,
+                                         std::vector<size_t> context,
+                                         std::vector<size_t> targets,
+                                         EncoderStore* store, Rng* rng)
+    : schema_(&schema),
+      context_(std::move(context)),
+      targets_(std::move(targets)),
+      store_(store) {
+  KAMINO_CHECK(!context_.empty()) << "discriminative model needs context";
+  KAMINO_CHECK(!targets_.empty()) << "discriminative model needs a target";
+  if (targets_.size() == 1 && schema.attribute(targets_[0]).is_numeric()) {
+    target_is_categorical_ = false;
+  } else {
+    target_is_categorical_ = true;
+    out_dim_categorical_ = 1;
+    for (size_t t : targets_) {
+      KAMINO_CHECK(schema.attribute(t).is_categorical())
+          << "joint targets must all be categorical";
+      const size_t size = schema.attribute(t).categories().size();
+      radix_.push_back(size);
+      out_dim_categorical_ *= size;
+    }
+  }
+  const size_t d = store->embed_dim();
+  const size_t out_dim = target_is_categorical_ ? out_dim_categorical_ : 2;
+  const double init_sd = 1.0 / std::sqrt(static_cast<double>(d));
+  query_ = std::make_unique<Parameter>(Tensor::Randn(1, d, init_sd, rng));
+  w1_ = std::make_unique<Parameter>(Tensor::Randn(d, d, init_sd, rng));
+  b1_ = std::make_unique<Parameter>(Tensor(1, d));
+  w2_ = std::make_unique<Parameter>(Tensor::Randn(d, out_dim, init_sd, rng));
+  b2_ = std::make_unique<Parameter>(Tensor(1, out_dim));
+}
+
+size_t DiscriminativeModel::JointIndex(const Row& row) const {
+  KAMINO_CHECK(target_is_categorical_) << "numeric target has no joint index";
+  size_t index = 0;
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    index = index * radix_[i] + static_cast<size_t>(row[targets_[i]].category());
+  }
+  return index;
+}
+
+std::vector<int32_t> DiscriminativeModel::DecodeJointIndex(
+    size_t index) const {
+  std::vector<int32_t> values(targets_.size());
+  for (size_t i = targets_.size(); i-- > 0;) {
+    values[i] = static_cast<int32_t>(index % radix_[i]);
+    index /= radix_[i];
+  }
+  return values;
+}
+
+Var DiscriminativeModel::Output(const Row& row, ForwardContext* ctx) const {
+  std::vector<Var> embeddings;
+  embeddings.reserve(context_.size());
+  for (size_t attr : context_) {
+    embeddings.push_back(store_->encoder(attr)->Encode(row[attr], ctx));
+  }
+  Var keys = ConcatRows(embeddings);                      // m x d
+  Var q = ctx->Bind(query_.get());                        // 1 x d
+  Var scores = MatMul(q, Transpose(keys));                // 1 x m
+  Var alpha = Softmax(scores);                            // 1 x m
+  Var context_vec = MatMul(alpha, keys);                  // 1 x d
+  Var w1 = ctx->Bind(w1_.get());
+  Var b1 = ctx->Bind(b1_.get());
+  Var h = Relu(Add(MatMul(context_vec, w1), b1));         // 1 x d
+  Var w2 = ctx->Bind(w2_.get());
+  Var b2 = ctx->Bind(b2_.get());
+  return Add(MatMul(h, w2), b2);
+}
+
+Var DiscriminativeModel::Loss(const Row& row, ForwardContext* ctx) const {
+  Var out = Output(row, ctx);
+  if (target_is_categorical_) {
+    return CrossEntropyWithLogits(out, JointIndex(row));
+  }
+  const AttributeEncoder* enc = store_->encoder(targets_[0]);
+  return GaussianNll(out, enc->Standardize(row[targets_[0]].numeric()));
+}
+
+std::vector<double> DiscriminativeModel::PredictCategorical(
+    const Row& row) const {
+  KAMINO_CHECK(target_is_categorical_) << "target is numeric";
+  ForwardContext ctx;
+  Var out = Output(row, &ctx);
+  // Softmax over logits (inference only, no gradient machinery needed).
+  const Tensor& logits = out->value;
+  std::vector<double> probs(logits.cols());
+  double mx = logits[0];
+  for (size_t i = 1; i < probs.size(); ++i) mx = std::max(mx, logits[i]);
+  double sum = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+std::pair<double, double> DiscriminativeModel::PredictGaussian(
+    const Row& row) const {
+  KAMINO_CHECK(!target_is_categorical_) << "target is categorical";
+  ForwardContext ctx;
+  Var out = Output(row, &ctx);
+  const double mu = out->value[0];
+  const double s = out->value[1];
+  const double sigma = (s > 30.0 ? s : std::log1p(std::exp(s))) + 1e-3;
+  const AttributeEncoder* enc = store_->encoder(targets_[0]);
+  // Destandardize: shift/scale the mean, scale the stddev.
+  const double mean = enc->Destandardize(mu);
+  const double stddev =
+      sigma * (enc->Destandardize(1.0) - enc->Destandardize(0.0));
+  return {mean, std::abs(stddev)};
+}
+
+std::vector<Parameter*> DiscriminativeModel::Parameters() {
+  std::vector<Parameter*> params;
+  for (size_t attr : context_) {
+    for (Parameter* p : store_->encoder(attr)->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  params.push_back(query_.get());
+  params.push_back(w1_.get());
+  params.push_back(b1_.get());
+  params.push_back(w2_.get());
+  params.push_back(b2_.get());
+  return params;
+}
+
+}  // namespace kamino

@@ -1,0 +1,88 @@
+#ifndef KAMINO_NN_DISCRIMINATIVE_H_
+#define KAMINO_NN_DISCRIMINATIVE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kamino/data/table.h"
+#include "kamino/nn/encoders.h"
+#include "kamino/nn/module.h"
+
+namespace kamino {
+
+/// The AimNet-style sub-model M_{X,y} (section 2.3 / 4.1): predicts the
+/// target attribute(s) from the context attributes X = S_{:j}.
+///
+/// Architecture per example:
+///   e_i     = encode(context value i)                       (1 x d each)
+///   E       = stack(e_1..e_m)                               (m x d)
+///   alpha   = softmax(q E^T)                                (attention, 1 x m)
+///   ctx_vec = alpha E                                       (1 x d)
+///   h       = relu(ctx_vec W1 + b1)                         (1 x d)
+///   out     = h W2 + b2     (logits, or 1 x 2 (mu, s))
+///
+/// Targets come in two flavors:
+///  - one numeric attribute: a Gaussian regression head (mu, sigma) trained
+///    with negative log-likelihood on standardized values;
+///  - one or more categorical attributes: a softmax-cross-entropy head over
+///    the *joint* domain (the product of the member domains). A multi-
+///    attribute target is the hyper-attribute grouping of section 4.3.
+class DiscriminativeModel {
+ public:
+  /// `store` supplies (and shares) the per-attribute encoders; it must
+  /// outlive the model. `context` must be non-empty. `targets` is a single
+  /// attribute, or several *categorical* attributes to predict jointly.
+  DiscriminativeModel(const Schema& schema, std::vector<size_t> context,
+                      std::vector<size_t> targets, EncoderStore* store,
+                      Rng* rng);
+
+  /// Builds the per-example loss graph. The returned Var is the scalar
+  /// loss; `ctx` records the parameter bindings for gradient extraction.
+  Var Loss(const Row& row, ForwardContext* ctx) const;
+
+  /// Conditional distribution over the (joint) categorical target domain
+  /// given the row's context attributes. Requires a categorical target.
+  std::vector<double> PredictCategorical(const Row& row) const;
+
+  /// Gaussian (mean, stddev) for a numeric target in the original value
+  /// space. Requires a numeric target.
+  std::pair<double, double> PredictGaussian(const Row& row) const;
+
+  /// Every trainable parameter: shared context encoders plus the
+  /// model-private attention query and head weights.
+  std::vector<Parameter*> Parameters();
+
+  /// Index of `row`'s target values in the joint categorical domain.
+  size_t JointIndex(const Row& row) const;
+
+  /// Inverse of JointIndex: the per-target category values for a joint
+  /// domain index.
+  std::vector<int32_t> DecodeJointIndex(size_t index) const;
+
+  const std::vector<size_t>& context() const { return context_; }
+  const std::vector<size_t>& targets() const { return targets_; }
+  bool target_is_categorical() const { return target_is_categorical_; }
+  size_t joint_domain_size() const { return out_dim_categorical_; }
+
+ private:
+  Var Output(const Row& row, ForwardContext* ctx) const;
+
+  const Schema* schema_;
+  std::vector<size_t> context_;
+  std::vector<size_t> targets_;
+  bool target_is_categorical_;
+  size_t out_dim_categorical_ = 0;
+  std::vector<size_t> radix_;  // per-target domain sizes, for joint coding
+  EncoderStore* store_;
+
+  std::unique_ptr<Parameter> query_;   // 1 x d attention query
+  std::unique_ptr<Parameter> w1_;      // d x d
+  std::unique_ptr<Parameter> b1_;      // 1 x d
+  std::unique_ptr<Parameter> w2_;      // d x out_dim
+  std::unique_ptr<Parameter> b2_;      // 1 x out_dim
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_NN_DISCRIMINATIVE_H_

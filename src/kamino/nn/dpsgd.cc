@@ -1,0 +1,67 @@
+#include "kamino/nn/dpsgd.h"
+
+#include <cmath>
+
+#include "kamino/autograd/ops.h"
+
+namespace kamino {
+
+void ClipGradients(std::vector<Tensor>* grads, double clip_norm) {
+  double squared = 0.0;
+  for (const Tensor& g : *grads) squared += g.SquaredL2();
+  const double norm = std::sqrt(squared);
+  if (norm <= clip_norm || norm == 0.0) return;
+  const double scale = clip_norm / norm;
+  for (Tensor& g : *grads) g.Scale(scale);
+}
+
+double TrainDpSgd(DiscriminativeModel* model, const Table& data,
+                  const DpSgdOptions& options, Rng* rng) {
+  std::vector<Parameter*> params = model->Parameters();
+  const size_t n = data.num_rows();
+  if (n == 0) return 0.0;
+  const double sample_prob =
+      std::min(1.0, static_cast<double>(options.batch_size) /
+                        static_cast<double>(n));
+  double last_loss = 0.0;
+
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    std::vector<Tensor> grad_sum = ZeroGradients(params);
+    double loss_sum = 0.0;
+    size_t batch_count = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+      if (!rng->Bernoulli(sample_prob)) continue;
+      ++batch_count;
+      ForwardContext ctx;
+      Var loss = model->Loss(data.row(i), &ctx);
+      Backward(loss);
+      loss_sum += loss->value[0];
+
+      std::vector<Tensor> example_grads = ZeroGradients(params);
+      ctx.AccumulateInto(params, &example_grads);
+      ClipGradients(&example_grads, options.clip_norm);
+      for (size_t p = 0; p < params.size(); ++p) {
+        grad_sum[p].Add(example_grads[p]);
+      }
+    }
+
+    // Perturb the clipped gradient sum: sensitivity is exactly clip_norm.
+    const double noise_sd = options.noise_multiplier * options.clip_norm;
+    if (noise_sd > 0.0) {
+      for (Tensor& g : grad_sum) {
+        for (double& v : g.data()) v += rng->Gaussian(0.0, noise_sd);
+      }
+    }
+    // Average by the expected batch size (not the realized one), as in
+    // Abadi et al.; this keeps the sensitivity analysis exact.
+    const double denom = static_cast<double>(options.batch_size);
+    for (size_t p = 0; p < params.size(); ++p) {
+      params[p]->value.Axpy(-options.learning_rate / denom, grad_sum[p]);
+    }
+    last_loss = batch_count > 0 ? loss_sum / batch_count : last_loss;
+  }
+  return last_loss;
+}
+
+}  // namespace kamino

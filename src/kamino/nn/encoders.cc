@@ -1,0 +1,78 @@
+#include "kamino/nn/encoders.h"
+
+#include <cmath>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+
+AttributeEncoder::AttributeEncoder(const Attribute& attr, size_t embed_dim,
+                                   Rng* rng)
+    : embed_dim_(embed_dim), is_categorical_(attr.is_categorical()) {
+  const double init_sd = 1.0 / std::sqrt(static_cast<double>(embed_dim));
+  if (is_categorical_) {
+    lookup_ = std::make_unique<Parameter>(
+        Tensor::Randn(attr.categories().size(), embed_dim, init_sd, rng));
+  } else {
+    num_a_ = std::make_unique<Parameter>(Tensor::Randn(1, embed_dim, 1.0, rng));
+    num_c_ = std::make_unique<Parameter>(
+        Tensor::Randn(1, embed_dim, init_sd, rng));
+    num_b_ = std::make_unique<Parameter>(
+        Tensor::Randn(embed_dim, embed_dim, init_sd, rng));
+    num_d_ = std::make_unique<Parameter>(
+        Tensor::Randn(1, embed_dim, init_sd, rng));
+    // Standardize with public domain statistics: the midpoint and the
+    // uniform-on-[min,max] standard deviation. Using the true data's
+    // moments here would leak, so Kamino never does.
+    standardize_mean_ = 0.5 * (attr.min_value() + attr.max_value());
+    standardize_std_ =
+        (attr.max_value() - attr.min_value()) / std::sqrt(12.0);
+    if (standardize_std_ <= 0.0) standardize_std_ = 1.0;
+  }
+}
+
+Var AttributeEncoder::Encode(const Value& v, ForwardContext* ctx) const {
+  if (is_categorical_) {
+    KAMINO_CHECK(v.is_categorical()) << "categorical encoder got numeric";
+    Var table = ctx->Bind(lookup_.get());
+    return SelectRow(table, static_cast<size_t>(v.category()));
+  }
+  KAMINO_CHECK(v.is_numeric()) << "numeric encoder got categorical";
+  const double x = Standardize(v.numeric());
+  Var a = ctx->Bind(num_a_.get());
+  Var c = ctx->Bind(num_c_.get());
+  Var b = ctx->Bind(num_b_.get());
+  Var d = ctx->Bind(num_d_.get());
+  Var hidden = Relu(Add(Scale(a, x), c));          // 1 x d
+  return Add(MatMul(hidden, b), d);                // 1 x d
+}
+
+std::vector<Parameter*> AttributeEncoder::Parameters() {
+  if (is_categorical_) return {lookup_.get()};
+  return {num_a_.get(), num_c_.get(), num_b_.get(), num_d_.get()};
+}
+
+void AttributeEncoder::CopyFrom(const AttributeEncoder& other) {
+  KAMINO_CHECK(is_categorical_ == other.is_categorical_ &&
+               embed_dim_ == other.embed_dim_)
+      << "encoder shape mismatch in CopyFrom";
+  if (is_categorical_) {
+    lookup_->value = other.lookup_->value;
+  } else {
+    num_a_->value = other.num_a_->value;
+    num_c_->value = other.num_c_->value;
+    num_b_->value = other.num_b_->value;
+    num_d_->value = other.num_d_->value;
+  }
+}
+
+EncoderStore::EncoderStore(const Schema& schema, size_t embed_dim, Rng* rng)
+    : embed_dim_(embed_dim) {
+  encoders_.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    encoders_.push_back(std::make_unique<AttributeEncoder>(
+        schema.attribute(i), embed_dim, rng));
+  }
+}
+
+}  // namespace kamino

@@ -1,0 +1,88 @@
+#ifndef KAMINO_NN_ENCODERS_H_
+#define KAMINO_NN_ENCODERS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "kamino/data/schema.h"
+#include "kamino/nn/module.h"
+
+namespace kamino {
+
+/// Encodes one attribute's value as a d-dimensional embedding (the tuple
+/// embedding of section 2.3).
+///
+/// Categorical attributes use a learnable |domain| x d lookup table;
+/// numeric attributes standardize with public domain statistics and apply
+/// z = B * relu(A*x + c) + d (AimNet's non-linear transformation).
+class AttributeEncoder {
+ public:
+  AttributeEncoder(const Attribute& attr, size_t embed_dim, Rng* rng);
+
+  /// Embeds `v` as a 1 x d vector, binding parameters through `ctx`.
+  Var Encode(const Value& v, ForwardContext* ctx) const;
+
+  /// All trainable tensors of this encoder.
+  std::vector<Parameter*> Parameters();
+
+  /// Deep-copies the trained parameter values from `other` (the embedding
+  /// reuse of Algorithm 2 lines 7/19).
+  void CopyFrom(const AttributeEncoder& other);
+
+  size_t embed_dim() const { return embed_dim_; }
+  bool is_categorical() const { return is_categorical_; }
+
+  /// Standardizes a numeric value with the public domain statistics.
+  double Standardize(double v) const {
+    return (v - standardize_mean_) / standardize_std_;
+  }
+
+  /// Inverts `Standardize`.
+  double Destandardize(double z) const {
+    return z * standardize_std_ + standardize_mean_;
+  }
+
+ private:
+  size_t embed_dim_;
+  bool is_categorical_;
+  // Categorical: one row per category.
+  std::unique_ptr<Parameter> lookup_;
+  // Numeric: z = b_(dxd) * relu(a_(1xd) * x + c_(1xd)) + d_(1xd).
+  std::unique_ptr<Parameter> num_a_;
+  std::unique_ptr<Parameter> num_c_;
+  std::unique_ptr<Parameter> num_b_;
+  std::unique_ptr<Parameter> num_d_;
+  double standardize_mean_ = 0.0;
+  double standardize_std_ = 1.0;
+};
+
+/// Shared pool of per-attribute encoders, keyed by attribute position in
+/// the schema.
+///
+/// Algorithm 2 trains sub-models in sequence order and *reuses* the
+/// embeddings learned so far when a new sub-model starts; sharing one
+/// store across sub-models implements exactly that. The parallel-training
+/// optimization of section 7.3.6 instead gives each sub-model a private
+/// store.
+class EncoderStore {
+ public:
+  EncoderStore(const Schema& schema, size_t embed_dim, Rng* rng);
+
+  AttributeEncoder* encoder(size_t attr_index) {
+    return encoders_[attr_index].get();
+  }
+  const AttributeEncoder* encoder(size_t attr_index) const {
+    return encoders_[attr_index].get();
+  }
+
+  size_t embed_dim() const { return embed_dim_; }
+
+ private:
+  size_t embed_dim_;
+  std::vector<std::unique_ptr<AttributeEncoder>> encoders_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_NN_ENCODERS_H_

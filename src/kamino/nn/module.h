@@ -1,0 +1,75 @@
+#ifndef KAMINO_NN_MODULE_H_
+#define KAMINO_NN_MODULE_H_
+
+#include <utility>
+#include <vector>
+
+#include "kamino/autograd/ops.h"
+#include "kamino/autograd/tensor.h"
+
+namespace kamino {
+
+/// A trainable tensor. Layers own Parameters; optimizers mutate `value`.
+struct Parameter {
+  Tensor value;
+
+  explicit Parameter(Tensor v) : value(std::move(v)) {}
+};
+
+/// Per-forward bookkeeping that ties graph leaves back to the Parameters
+/// they were created from.
+///
+/// Graphs are rebuilt per example (define-by-run); `Bind` snapshots a
+/// parameter into a leaf `Var`, and after `Backward` the caller collects
+/// d(loss)/d(parameter) for exactly the parameters this forward touched.
+class ForwardContext {
+ public:
+  /// Creates (or reuses, if this parameter was already bound in this
+  /// forward) a differentiable leaf holding the parameter's current value.
+  Var Bind(Parameter* param) {
+    for (auto& [p, var] : bindings_) {
+      if (p == param) return var;
+    }
+    Var var = MakeLeaf(param->value);
+    bindings_.emplace_back(param, var);
+    return var;
+  }
+
+  /// Adds each bound leaf's gradient into the matching slot of `sink`,
+  /// where `sink[i]` accumulates the gradient of `params[i]`. Parameters
+  /// not bound in this forward contribute nothing.
+  void AccumulateInto(const std::vector<Parameter*>& params,
+                      std::vector<Tensor>* sink) const {
+    for (const auto& [param, var] : bindings_) {
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (params[i] == param) {
+          (*sink)[i].Add(var->grad);
+          break;
+        }
+      }
+    }
+  }
+
+  const std::vector<std::pair<Parameter*, Var>>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::vector<std::pair<Parameter*, Var>> bindings_;
+};
+
+/// Allocates zero tensors shaped like each parameter, for gradient
+/// accumulation.
+inline std::vector<Tensor> ZeroGradients(
+    const std::vector<Parameter*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) {
+    out.emplace_back(p->value.rows(), p->value.cols());
+  }
+  return out;
+}
+
+}  // namespace kamino
+
+#endif  // KAMINO_NN_MODULE_H_

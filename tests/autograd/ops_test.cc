@@ -1,0 +1,218 @@
+#include "kamino/autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kamino/common/rng.h"
+
+namespace kamino {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(TensorTest, Basics) {
+  Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 7.0);
+  Tensor u(2, 3, 0.5);
+  t.Add(u);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 2.0);
+  t.Axpy(2.0, u);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 3.0);
+  t.Scale(2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 6.0);
+}
+
+TEST(TensorTest, SquaredL2) {
+  Tensor t = Tensor::RowVector({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.SquaredL2(), 25.0);
+}
+
+TEST(OpsTest, AddForwardBackward) {
+  Var a = MakeLeaf(Tensor::RowVector({1, 2}));
+  Var b = MakeLeaf(Tensor::RowVector({3, 4}));
+  Var s = Sum(Add(a, b));
+  EXPECT_DOUBLE_EQ(s->value[0], 10.0);
+  Backward(s);
+  EXPECT_DOUBLE_EQ(a->grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(b->grad[1], 1.0);
+}
+
+TEST(OpsTest, MatMulForward) {
+  Var a = MakeConstant(Tensor::RowVector({1, 2}));       // 1x2
+  Tensor bt(2, 2);
+  bt.at(0, 0) = 1;
+  bt.at(0, 1) = 2;
+  bt.at(1, 0) = 3;
+  bt.at(1, 1) = 4;
+  Var b = MakeConstant(bt);
+  Var c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c->value[0], 7.0);   // 1*1 + 2*3
+  EXPECT_DOUBLE_EQ(c->value[1], 10.0);  // 1*2 + 2*4
+}
+
+TEST(OpsTest, ConstantsGetNoGradient) {
+  Var a = MakeConstant(Tensor::RowVector({1, 2}));
+  Var b = MakeLeaf(Tensor::RowVector({3, 4}));
+  Var s = Sum(Mul(a, b));
+  Backward(s);
+  EXPECT_DOUBLE_EQ(b->grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(b->grad[1], 2.0);
+  EXPECT_DOUBLE_EQ(a->grad[0], 0.0);
+}
+
+TEST(OpsTest, CrossEntropyValue) {
+  Var logits = MakeLeaf(Tensor::RowVector({0.0, 0.0}));
+  Var loss = CrossEntropyWithLogits(logits, 0);
+  EXPECT_NEAR(loss->value[0], std::log(2.0), 1e-12);
+  Backward(loss);
+  EXPECT_NEAR(logits->grad[0], 0.5 - 1.0, 1e-12);
+  EXPECT_NEAR(logits->grad[1], 0.5, 1e-12);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Var a = MakeConstant(Tensor::Randn(3, 4, 2.0, &rng));
+  Var s = Softmax(a);
+  for (size_t r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < 4; ++c) total += s->value.at(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(OpsTest, ReusedNodeAccumulatesGradient) {
+  // y = x + x => dy/dx = 2.
+  Var x = MakeLeaf(Tensor::RowVector({5.0}));
+  Var y = Sum(Add(x, x));
+  Backward(y);
+  EXPECT_DOUBLE_EQ(x->grad[0], 2.0);
+}
+
+TEST(OpsTest, DiamondGraphGradient) {
+  // y = sum(relu(x) * x): both branches feed the product.
+  Var x = MakeLeaf(Tensor::RowVector({2.0, -3.0}));
+  Var y = Sum(Mul(Relu(x), x));
+  Backward(y);
+  // For x=2: d/dx (x*x) = 2x = 4. For x=-3: relu = 0 region, only the
+  // second factor path: relu(x)=0 contributes 0, derivative of relu is 0.
+  EXPECT_DOUBLE_EQ(x->grad[0], 4.0);
+  EXPECT_DOUBLE_EQ(x->grad[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property-style finite-difference gradient checks for every composite op.
+// ---------------------------------------------------------------------------
+
+class GradCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradCheckTest, MatMulChainMatchesFiniteDifference) {
+  Rng rng(100 + GetParam());
+  Tensor a_val = Tensor::Randn(2, 3, 1.0, &rng);
+  Tensor b_val = Tensor::Randn(3, 2, 1.0, &rng);
+  auto loss_fn = [&]() {
+    Var a = MakeLeaf(a_val);
+    Var b = MakeLeaf(b_val);
+    return Sum(Relu(MatMul(a, b)))->value[0];
+  };
+  Var a = MakeLeaf(a_val);
+  Var b = MakeLeaf(b_val);
+  Var loss = Sum(Relu(MatMul(a, b)));
+  Backward(loss);
+  EXPECT_LT(MaxGradError(&a_val, a->grad, loss_fn), kTol);
+  EXPECT_LT(MaxGradError(&b_val, b->grad, loss_fn), kTol);
+}
+
+TEST_P(GradCheckTest, SoftmaxAttentionMatchesFiniteDifference) {
+  Rng rng(200 + GetParam());
+  Tensor q_val = Tensor::Randn(1, 4, 1.0, &rng);
+  Tensor keys_val = Tensor::Randn(3, 4, 1.0, &rng);
+  auto build = [&](const Tensor& qv, const Tensor& kv) {
+    Var q = MakeLeaf(qv);
+    Var keys = MakeLeaf(kv);
+    Var alpha = Softmax(MatMul(q, Transpose(keys)));
+    Var ctx = MatMul(alpha, keys);
+    return std::make_tuple(q, keys, Sum(Mul(ctx, ctx)));
+  };
+  auto [q, keys, loss] = build(q_val, keys_val);
+  Backward(loss);
+  auto loss_fn = [&]() {
+    auto [q2, k2, l2] = build(q_val, keys_val);
+    return l2->value[0];
+  };
+  EXPECT_LT(MaxGradError(&q_val, q->grad, loss_fn), kTol);
+  EXPECT_LT(MaxGradError(&keys_val, keys->grad, loss_fn), kTol);
+}
+
+TEST_P(GradCheckTest, CrossEntropyMatchesFiniteDifference) {
+  Rng rng(300 + GetParam());
+  Tensor logits_val = Tensor::Randn(1, 5, 2.0, &rng);
+  const size_t target = GetParam() % 5;
+  auto loss_fn = [&]() {
+    return CrossEntropyWithLogits(MakeLeaf(logits_val), target)->value[0];
+  };
+  Var logits = MakeLeaf(logits_val);
+  Var loss = CrossEntropyWithLogits(logits, target);
+  Backward(loss);
+  EXPECT_LT(MaxGradError(&logits_val, logits->grad, loss_fn), kTol);
+}
+
+TEST_P(GradCheckTest, GaussianNllMatchesFiniteDifference) {
+  Rng rng(400 + GetParam());
+  Tensor out_val = Tensor::Randn(1, 2, 1.0, &rng);
+  const double target = rng.Gaussian();
+  auto loss_fn = [&]() {
+    return GaussianNll(MakeLeaf(out_val), target)->value[0];
+  };
+  Var out = MakeLeaf(out_val);
+  Var loss = GaussianNll(out, target);
+  Backward(loss);
+  EXPECT_LT(MaxGradError(&out_val, out->grad, loss_fn), 1e-5);
+}
+
+TEST_P(GradCheckTest, TanhConcatSelectMatchesFiniteDifference) {
+  Rng rng(500 + GetParam());
+  Tensor a_val = Tensor::Randn(1, 3, 1.0, &rng);
+  Tensor b_val = Tensor::Randn(1, 3, 1.0, &rng);
+  Tensor table_val = Tensor::Randn(4, 3, 1.0, &rng);
+  auto build = [&]() {
+    Var a = MakeLeaf(a_val);
+    Var b = MakeLeaf(b_val);
+    Var table = MakeLeaf(table_val);
+    Var row = SelectRow(table, 2);
+    Var stacked = ConcatRows({Tanh(a), b, row});
+    return std::make_tuple(a, b, table, Mean(Mul(stacked, stacked)));
+  };
+  auto [a, b, table, loss] = build();
+  Backward(loss);
+  auto loss_fn = [&]() { return std::get<3>(build())->value[0]; };
+  EXPECT_LT(MaxGradError(&a_val, a->grad, loss_fn), kTol);
+  EXPECT_LT(MaxGradError(&b_val, b->grad, loss_fn), kTol);
+  EXPECT_LT(MaxGradError(&table_val, table->grad, loss_fn), kTol);
+}
+
+TEST_P(GradCheckTest, SubScaleMatchesFiniteDifference) {
+  Rng rng(600 + GetParam());
+  Tensor a_val = Tensor::Randn(2, 2, 1.0, &rng);
+  Tensor b_val = Tensor::Randn(2, 2, 1.0, &rng);
+  auto build = [&]() {
+    Var a = MakeLeaf(a_val);
+    Var b = MakeLeaf(b_val);
+    Var diff = Sub(Scale(a, 3.0), b);
+    return std::make_tuple(a, b, Sum(Mul(diff, diff)));
+  };
+  auto [a, b, loss] = build();
+  Backward(loss);
+  auto loss_fn = [&]() { return std::get<2>(build())->value[0]; };
+  EXPECT_LT(MaxGradError(&a_val, a->grad, loss_fn), kTol);
+  EXPECT_LT(MaxGradError(&b_val, b->grad, loss_fn), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradCheckTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kamino/baselines/dpvae.h"
+#include "kamino/baselines/nist_pgm.h"
+#include "kamino/baselines/pategan.h"
+#include "kamino/baselines/privbayes.h"
+#include "kamino/data/generators.h"
+#include "kamino/eval/marginals.h"
+
+namespace kamino {
+namespace {
+
+std::vector<std::unique_ptr<Synthesizer>> MakeBaselines(double epsilon) {
+  std::vector<std::unique_ptr<Synthesizer>> out;
+  PrivBayes::Options pb;
+  pb.epsilon = epsilon;
+  out.push_back(std::make_unique<PrivBayes>(pb));
+  NistPgm::Options np;
+  np.epsilon = epsilon;
+  out.push_back(std::make_unique<NistPgm>(np));
+  DpVae::Options dv;
+  dv.epsilon = epsilon;
+  dv.iterations = 30;
+  out.push_back(std::make_unique<DpVae>(dv));
+  PateGan::Options pg;
+  pg.epsilon = epsilon;
+  pg.train_steps = 30;
+  out.push_back(std::make_unique<PateGan>(pg));
+  return out;
+}
+
+TEST(DiscreteViewTest, EncodeDecodeRoundTrip) {
+  BenchmarkDataset ds = MakeAdultLike(50, 1);
+  DiscreteView view = DiscreteView::Make(ds.table.schema(), 16);
+  Rng rng(1);
+  for (size_t a = 0; a < view.num_attrs(); ++a) {
+    for (size_t b = 0; b < view.cardinality(a); ++b) {
+      Value v = view.Decode(a, static_cast<int>(b), &rng);
+      EXPECT_EQ(view.Encode(a, v), static_cast<int>(b));
+      EXPECT_TRUE(ds.table.schema().attribute(a).Contains(v));
+    }
+  }
+}
+
+TEST(DiscreteViewTest, NoisyJointDistributionNormalizes) {
+  BenchmarkDataset ds = MakeTpchLike(100, 2);
+  DiscreteView view = DiscreteView::Make(ds.table.schema(), 8);
+  Rng rng(2);
+  auto dist = NoisyJointDistribution(ds.table, view, {1, 2}, 1.0, &rng);
+  double total = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+class BaselineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineTest, ProducesValidRows) {
+  BenchmarkDataset ds = MakeBr2000Like(200, 5);
+  auto baselines = MakeBaselines(1.0);
+  Synthesizer& synth = *baselines[GetParam()];
+  Rng rng(3);
+  auto out = synth.Synthesize(ds.table, 120, &rng);
+  ASSERT_TRUE(out.ok()) << synth.name() << ": " << out.status();
+  EXPECT_EQ(out.value().num_rows(), 120u);
+  for (size_t r = 0; r < out.value().num_rows(); ++r) {
+    for (size_t c = 0; c < out.value().num_columns(); ++c) {
+      EXPECT_TRUE(
+          ds.table.schema().attribute(c).Contains(out.value().at(r, c)))
+          << synth.name() << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(BaselineTest, RejectsEmptyInput) {
+  Schema schema({Attribute::MakeCategorical("a", {"x", "y"})});
+  Table empty(schema);
+  auto baselines = MakeBaselines(1.0);
+  Rng rng(4);
+  EXPECT_FALSE(baselines[GetParam()]->Synthesize(empty, 10, &rng).ok());
+}
+
+std::string BaselineName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"privbayes", "nist", "dpvae",
+                                       "pategan"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTest, ::testing::Range(0, 4),
+                         BaselineName);
+
+TEST(BaselineQualityTest, PrivBayesMarginalsBeatUniformAtLargeEpsilon) {
+  // At a generous budget the learned marginals should be much closer to
+  // the truth than a uniform synthesizer's.
+  BenchmarkDataset ds = MakeBr2000Like(600, 6);
+  PrivBayes::Options options;
+  options.epsilon = 8.0;
+  PrivBayes pb(options);
+  Rng rng(5);
+  Table synth = pb.Synthesize(ds.table, 600, &rng).TakeValue();
+  const double mean_distance =
+      MeanOf(OneWayMarginalDistances(synth, ds.table, 10));
+  EXPECT_LT(mean_distance, 0.25);
+}
+
+TEST(BaselineQualityTest, NistPgmMarginalsReasonable) {
+  BenchmarkDataset ds = MakeBr2000Like(600, 7);
+  NistPgm::Options options;
+  options.epsilon = 8.0;
+  NistPgm pgm(options);
+  Rng rng(6);
+  Table synth = pgm.Synthesize(ds.table, 600, &rng).TakeValue();
+  EXPECT_LT(MeanOf(OneWayMarginalDistances(synth, ds.table, 10)), 0.25);
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,73 @@
+#include "kamino/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace kamino {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  std::vector<std::string> parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, SplitNoDelimiter) {
+  std::vector<std::string> parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\tz\n"), "z");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  auto r = ParseDouble(" 3.25 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 3.25);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("3.25x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, ParseIntValid) {
+  auto r = ParseInt("-42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), -42);
+}
+
+TEST(StringsTest, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("t1.age", "t1."));
+  EXPECT_FALSE(StartsWith("t2.age", "t1."));
+  EXPECT_FALSE(StartsWith("t", "t1."));
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,191 @@
+// Tests for weight learning (Algorithm 5), parameter search (Algorithm 6)
+// and the end-to-end pipeline (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kamino/core/kamino.h"
+#include "kamino/core/params.h"
+#include "kamino/core/sequencing.h"
+#include "kamino/core/weights.h"
+#include "kamino/data/generators.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+TEST(WeightLearningTest, ViolatedDcGetsSmallerWeight) {
+  // Build data where DC A holds and DC B is heavily violated.
+  Schema schema({
+      Attribute::MakeCategorical("x", {"a", "b"}),
+      Attribute::MakeCategorical("y", {"p", "q"}),
+      Attribute::MakeNumeric("u", 0, 9, 10),
+      Attribute::MakeNumeric("v", 0, 9, 10),
+  });
+  Rng data_rng(3);
+  Table table(schema);
+  for (int i = 0; i < 300; ++i) {
+    const int x = static_cast<int>(data_rng.UniformInt(0, 1));
+    table.AppendRowUnchecked(
+        {Value::Categorical(x), Value::Categorical(x),  // FD x->y holds
+         Value::Numeric(static_cast<double>(data_rng.UniformInt(0, 9))),
+         Value::Numeric(static_cast<double>(data_rng.UniformInt(0, 9)))});
+  }
+  auto constraints =
+      ParseConstraints({"!(t1.x == t2.x & t1.y != t2.y)",
+                        "!(t1.u > t2.u & t1.v < t2.v)"},  // random: violated
+                       {false, false}, schema)
+          .TakeValue();
+  KaminoOptions options;
+  options.non_private = true;  // isolate the fitting behaviour from noise
+  options.weight_sample = 60;
+  options.weight_iterations = 30;
+  std::vector<size_t> sequence = SequenceSchema(schema, constraints);
+  Rng rng(5);
+  auto weights = LearnDcWeights(table, constraints, sequence, options, &rng);
+  ASSERT_TRUE(weights.ok()) << weights.status();
+  // The satisfied FD keeps a large weight; the violated order DC shrinks.
+  EXPECT_GT(weights.value()[0], weights.value()[1]);
+  EXPECT_LT(weights.value()[1], 4.0);
+}
+
+TEST(WeightLearningTest, HardDcsKeepEffectiveWeight) {
+  BenchmarkDataset ds = MakeAdultLike(100, 1);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoOptions options;
+  options.weight_sample = 40;
+  Rng rng(2);
+  std::vector<size_t> sequence =
+      SequenceSchema(ds.table.schema(), constraints);
+  auto weights =
+      LearnDcWeights(ds.table, constraints, sequence, options, &rng);
+  ASSERT_TRUE(weights.ok());
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (constraints[l].hard) {
+      EXPECT_DOUBLE_EQ(weights.value()[l], constraints[l].EffectiveWeight());
+    }
+  }
+}
+
+TEST(ParamSearchTest, FitsBudget) {
+  BenchmarkDataset ds = MakeBr2000Like(500, 2);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  std::vector<size_t> sequence =
+      SequenceSchema(ds.table.schema(), constraints);
+  KaminoOptions base;
+  base.iterations = 100;
+  for (double epsilon : {0.1, 0.5, 1.0, 2.0}) {
+    auto options = SearchDpParameters(epsilon, 1e-6, ds.table.schema(),
+                                      sequence, ds.table.num_rows(),
+                                      /*learn_weights=*/true, base);
+    ASSERT_TRUE(options.ok()) << options.status();
+    auto units = ProbabilisticDataModel::PlanUnits(ds.table.schema(), sequence,
+                                                   options.value());
+    size_t hist = 0;
+    for (const auto& u : units) {
+      if (u.kind == ModelUnit::Kind::kHistogram) ++hist;
+    }
+    const double eps = PrivacyCostEpsilon(options.value(), ds.table.num_rows(),
+                                          hist, units.size() - hist,
+                                          /*learn_weights=*/true, 1e-6);
+    EXPECT_LE(eps, epsilon + 1e-9) << "budget " << epsilon;
+  }
+}
+
+TEST(ParamSearchTest, SmallerBudgetMeansMoreNoiseOrFewerIterations) {
+  BenchmarkDataset ds = MakeTpchLike(400, 3);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  std::vector<size_t> sequence =
+      SequenceSchema(ds.table.schema(), constraints);
+  KaminoOptions base;
+  base.iterations = 100;
+  auto tight = SearchDpParameters(0.1, 1e-6, ds.table.schema(), sequence,
+                                  400, false, base).TakeValue();
+  auto loose = SearchDpParameters(4.0, 1e-6, ds.table.schema(), sequence,
+                                  400, false, base).TakeValue();
+  EXPECT_GE(tight.sigma_d, loose.sigma_d);
+  EXPECT_LE(tight.iterations, loose.iterations);
+}
+
+TEST(ParamSearchTest, RejectsBadBudget) {
+  Schema schema({Attribute::MakeCategorical("a", {"x", "y"})});
+  KaminoOptions base;
+  EXPECT_FALSE(
+      SearchDpParameters(-1.0, 1e-6, schema, {0}, 100, false, base).ok());
+  EXPECT_FALSE(
+      SearchDpParameters(1.0, 0.0, schema, {0}, 100, false, base).ok());
+}
+
+TEST(RunKaminoTest, EndToEndPrivateRunRespectsBudget) {
+  BenchmarkDataset ds = MakeTpchLike(250, 4);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.epsilon = 1.0;
+  config.delta = 1e-6;
+  config.options.seed = 7;
+  config.options.iterations = 30;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().synthetic.num_rows(), ds.table.num_rows());
+  EXPECT_LE(result.value().epsilon_spent, 1.0 + 1e-9);
+  EXPECT_EQ(result.value().sequence.size(), ds.table.schema().size());
+  EXPECT_EQ(result.value().dc_weights.size(), constraints.size());
+  EXPECT_GT(result.value().timings.Total(), 0.0);
+}
+
+TEST(RunKaminoTest, NonPrivateRunReportsInfiniteEpsilon) {
+  BenchmarkDataset ds = MakeTpchLike(150, 5);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.options.non_private = true;
+  config.options.iterations = 20;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(std::isinf(result.value().epsilon_spent));
+}
+
+TEST(RunKaminoTest, OutputRowsOverride) {
+  BenchmarkDataset ds = MakeTpchLike(100, 6);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.options.non_private = true;
+  config.options.iterations = 10;
+  config.output_rows = 37;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().synthetic.num_rows(), 37u);
+}
+
+TEST(RunKaminoTest, RejectsEmptyInput) {
+  Schema schema({Attribute::MakeCategorical("a", {"x"})});
+  Table empty(schema);
+  EXPECT_FALSE(RunKamino(empty, {}, KaminoConfig()).ok());
+}
+
+TEST(RunKaminoTest, HardDcsPreservedOnTpch) {
+  // The headline behaviour (Table 2): every FK-induced hard FD of the
+  // TPC-H-like workload survives synthesis untouched.
+  BenchmarkDataset ds = MakeTpchLike(200, 8);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.options.non_private = true;
+  config.options.iterations = 40;
+  config.options.seed = 3;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok());
+  for (const WeightedConstraint& wc : constraints) {
+    EXPECT_EQ(CountViolations(wc.dc, result.value().synthetic), 0)
+        << wc.dc.ToString(ds.table.schema());
+  }
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,73 @@
+#include "kamino/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace kamino {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Attribute::MakeCategorical("c", {"a", "b"}),
+                 Attribute::MakeNumeric("n", 0, 10, 11)});
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/kamino_csv_test.csv";
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Categorical(0), Value::Numeric(1.5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Categorical(1), Value::Numeric(9)}).ok());
+  ASSERT_TRUE(WriteCsv(t, path_).ok());
+
+  auto back = ReadCsv(TestSchema(), path_);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().num_rows(), 2u);
+  EXPECT_EQ(back.value().at(0, 0).category(), 0);
+  EXPECT_DOUBLE_EQ(back.value().at(0, 1).numeric(), 1.5);
+  EXPECT_EQ(back.value().at(1, 0).category(), 1);
+}
+
+TEST_F(CsvTest, RejectsHeaderMismatch) {
+  std::ofstream out(path_);
+  out << "wrong,n\na,1\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(TestSchema(), path_).ok());
+}
+
+TEST_F(CsvTest, RejectsUnknownCategory) {
+  std::ofstream out(path_);
+  out << "c,n\nzz,1\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(TestSchema(), path_).ok());
+}
+
+TEST_F(CsvTest, RejectsBadNumber) {
+  std::ofstream out(path_);
+  out << "c,n\na,xyz\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(TestSchema(), path_).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto r = ReadCsv(TestSchema(), "/nonexistent/path.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream out(path_);
+  out << "c,n\na,1\n\nb,2\n";
+  out.close();
+  auto r = ReadCsv(TestSchema(), path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace kamino

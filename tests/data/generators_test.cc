@@ -1,0 +1,97 @@
+#include "kamino/data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "kamino/dc/constraint.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+class GeneratorsTest : public ::testing::TestWithParam<int> {
+ protected:
+  BenchmarkDataset Make() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeAdultLike(300, 11);
+      case 1:
+        return MakeBr2000Like(300, 11);
+      case 2:
+        return MakeTaxLike(300, 11);
+      default:
+        return MakeTpchLike(300, 11);
+    }
+  }
+};
+
+TEST_P(GeneratorsTest, ShapeAndDomains) {
+  BenchmarkDataset ds = Make();
+  EXPECT_EQ(ds.table.num_rows(), 300u);
+  EXPECT_EQ(ds.dc_specs.size(), ds.hardness.size());
+  // Every cell must lie inside its declared domain.
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    for (size_t c = 0; c < ds.table.num_columns(); ++c) {
+      EXPECT_TRUE(ds.table.schema().attribute(c).Contains(ds.table.at(r, c)))
+          << ds.name << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(GeneratorsTest, DcSpecsParse) {
+  BenchmarkDataset ds = Make();
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema());
+  ASSERT_TRUE(constraints.ok()) << constraints.status();
+  EXPECT_EQ(constraints.value().size(), ds.dc_specs.size());
+}
+
+TEST_P(GeneratorsTest, HardDcsHoldExactly) {
+  BenchmarkDataset ds = Make();
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (!constraints[l].hard) continue;
+    EXPECT_EQ(CountViolations(constraints[l].dc, ds.table), 0)
+        << ds.name << " hard DC " << l << " violated in generated truth";
+  }
+}
+
+TEST_P(GeneratorsTest, Deterministic) {
+  BenchmarkDataset a = Make();
+  BenchmarkDataset b = Make();
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  for (size_t r = 0; r < a.table.num_rows(); ++r) {
+    for (size_t c = 0; c < a.table.num_columns(); ++c) {
+      EXPECT_TRUE(a.table.at(r, c) == b.table.at(r, c));
+    }
+  }
+}
+
+std::string DatasetName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"adult", "br2000", "tax", "tpch"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorsTest,
+                         ::testing::Values(0, 1, 2, 3), DatasetName);
+
+TEST(GeneratorsTest2, Br2000SoftDcsHaveSmallViolationRates) {
+  BenchmarkDataset ds = MakeBr2000Like(500, 3);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  for (const WeightedConstraint& wc : constraints) {
+    const double rate = ViolationRatePercent(wc.dc, ds.table);
+    EXPECT_GT(rate, 0.0);   // soft: some violations exist
+    EXPECT_LT(rate, 10.0);  // but rare
+  }
+}
+
+TEST(GeneratorsTest2, MakeAllBenchmarksReturnsFour) {
+  auto all = MakeAllBenchmarks(50, 1);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "adult");
+  EXPECT_EQ(all[3].name, "tpch");
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,65 @@
+#include "kamino/data/quantizer.h"
+
+#include <gtest/gtest.h>
+
+namespace kamino {
+namespace {
+
+TEST(QuantizerTest, RequiresNumericAttribute) {
+  Attribute cat = Attribute::MakeCategorical("c", {"a"});
+  EXPECT_FALSE(Quantizer::Make(cat, 4).ok());
+  Attribute num = Attribute::MakeNumeric("n", 0, 8, 9);
+  EXPECT_FALSE(Quantizer::Make(num, 0).ok());
+  EXPECT_TRUE(Quantizer::Make(num, 4).ok());
+}
+
+TEST(QuantizerTest, BinEdges) {
+  Attribute num = Attribute::MakeNumeric("n", 0, 8, 9);
+  Quantizer q = Quantizer::Make(num, 4).value();
+  EXPECT_EQ(q.num_bins(), 4);
+  EXPECT_DOUBLE_EQ(q.bin_width(), 2.0);
+  EXPECT_EQ(q.BinOf(0.0), 0);
+  EXPECT_EQ(q.BinOf(1.99), 0);
+  EXPECT_EQ(q.BinOf(2.0), 1);
+  EXPECT_EQ(q.BinOf(7.99), 3);
+  EXPECT_EQ(q.BinOf(8.0), 3);  // max clamps into last bin
+}
+
+TEST(QuantizerTest, OutOfRangeClamps) {
+  Attribute num = Attribute::MakeNumeric("n", 0, 8, 9);
+  Quantizer q = Quantizer::Make(num, 4).value();
+  EXPECT_EQ(q.BinOf(-100), 0);
+  EXPECT_EQ(q.BinOf(100), 3);
+}
+
+TEST(QuantizerTest, MidpointWithinBin) {
+  Attribute num = Attribute::MakeNumeric("n", 0, 10, 11);
+  Quantizer q = Quantizer::Make(num, 5).value();
+  for (int b = 0; b < 5; ++b) {
+    EXPECT_GE(q.Midpoint(b), q.BinLow(b));
+    EXPECT_LE(q.Midpoint(b), q.BinHigh(b));
+    EXPECT_EQ(q.BinOf(q.Midpoint(b)), b);
+  }
+}
+
+TEST(QuantizerTest, SampleWithinStaysInBin) {
+  Attribute num = Attribute::MakeNumeric("n", -5, 5, 11);
+  Quantizer q = Quantizer::Make(num, 7).value();
+  Rng rng(3);
+  for (int b = 0; b < 7; ++b) {
+    for (int i = 0; i < 50; ++i) {
+      double v = q.SampleWithin(b, &rng);
+      EXPECT_GE(v, q.BinLow(b));
+      EXPECT_LE(v, q.BinHigh(b));
+    }
+  }
+}
+
+TEST(QuantizerTest, DegenerateDomain) {
+  Attribute num = Attribute::MakeNumeric("n", 5, 5, 1);
+  Quantizer q = Quantizer::Make(num, 3).value();
+  EXPECT_EQ(q.BinOf(5.0), 0);
+}
+
+}  // namespace
+}  // namespace kamino

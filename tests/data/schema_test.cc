@@ -1,0 +1,81 @@
+#include "kamino/data/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kamino {
+namespace {
+
+TEST(AttributeTest, CategoricalBasics) {
+  Attribute a = Attribute::MakeCategorical("color", {"red", "green", "blue"});
+  EXPECT_TRUE(a.is_categorical());
+  EXPECT_EQ(a.DomainSize(), 3);
+  auto idx = a.CategoryIndex("green");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1);
+  auto label = a.CategoryLabel(2);
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(label.value(), "blue");
+}
+
+TEST(AttributeTest, CategoricalLookupErrors) {
+  Attribute a = Attribute::MakeCategorical("color", {"red"});
+  EXPECT_FALSE(a.CategoryIndex("pink").ok());
+  EXPECT_FALSE(a.CategoryLabel(5).ok());
+  EXPECT_FALSE(a.CategoryLabel(-1).ok());
+}
+
+TEST(AttributeTest, NumericBasics) {
+  Attribute a = Attribute::MakeNumeric("age", 0, 100, 101);
+  EXPECT_TRUE(a.is_numeric());
+  EXPECT_EQ(a.DomainSize(), 101);
+  EXPECT_DOUBLE_EQ(a.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max_value(), 100.0);
+}
+
+TEST(AttributeTest, ContainsChecksKindAndRange) {
+  Attribute num = Attribute::MakeNumeric("age", 0, 100, 101);
+  EXPECT_TRUE(num.Contains(Value::Numeric(50)));
+  EXPECT_FALSE(num.Contains(Value::Numeric(101)));
+  EXPECT_FALSE(num.Contains(Value::Categorical(1)));
+
+  Attribute cat = Attribute::MakeCategorical("c", {"a", "b"});
+  EXPECT_TRUE(cat.Contains(Value::Categorical(1)));
+  EXPECT_FALSE(cat.Contains(Value::Categorical(2)));
+  EXPECT_FALSE(cat.Contains(Value::Numeric(0)));
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema({Attribute::MakeCategorical("a", {"x"}),
+                 Attribute::MakeNumeric("b", 0, 1, 2)});
+  auto i = schema.IndexOf("b");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i.value(), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+}
+
+TEST(SchemaTest, Log2DomainSize) {
+  Schema schema({Attribute::MakeCategorical("a", {"x", "y"}),
+                 Attribute::MakeCategorical("b", {"1", "2", "3", "4"})});
+  EXPECT_NEAR(schema.Log2DomainSize(), 3.0, 1e-9);  // log2(2*4)
+}
+
+TEST(ValueTest, ComparisonSemantics) {
+  EXPECT_EQ(Value::Numeric(1.5), Value::Numeric(1.5));
+  EXPECT_NE(Value::Numeric(1.5), Value::Numeric(2.5));
+  EXPECT_NE(Value::Numeric(1.0), Value::Categorical(1));
+  EXPECT_LT(Value::Numeric(1.0), Value::Numeric(2.0));
+  EXPECT_GE(Value::Categorical(3), Value::Categorical(3));
+  EXPECT_GT(Value::Categorical(4), Value::Categorical(3));
+}
+
+TEST(ValueTest, HashEqualValuesSame) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Numeric(7)), h(Value::Numeric(7)));
+  EXPECT_EQ(h(Value::Categorical(7)), h(Value::Categorical(7)));
+  EXPECT_NE(h(Value::Numeric(7)), h(Value::Categorical(7)));
+}
+
+}  // namespace
+}  // namespace kamino

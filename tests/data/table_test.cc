@@ -1,0 +1,68 @@
+#include "kamino/data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace kamino {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Attribute::MakeCategorical("c", {"a", "b"}),
+                 Attribute::MakeNumeric("n", 0, 10, 11)});
+}
+
+TEST(TableTest, AppendRowValidates) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value::Categorical(0), Value::Numeric(5)}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.AppendRow({Value::Categorical(0)}).ok());
+  // Out of domain.
+  EXPECT_FALSE(t.AppendRow({Value::Categorical(9), Value::Numeric(5)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Categorical(0), Value::Numeric(99)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ResizeAndSet) {
+  Table t(TestSchema());
+  t.ResizeRows(3);
+  EXPECT_EQ(t.num_rows(), 3u);
+  t.set(1, 0, Value::Categorical(1));
+  EXPECT_EQ(t.at(1, 0).category(), 1);
+}
+
+TEST(TableTest, Column) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Categorical(0), Value::Numeric(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Categorical(1), Value::Numeric(2)}).ok());
+  std::vector<Value> col = t.Column(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[1].numeric(), 2.0);
+}
+
+TEST(TableTest, HeadTruncates) {
+  Table t(TestSchema());
+  for (int i = 0; i < 5; ++i) {
+    t.AppendRowUnchecked({Value::Categorical(0), Value::Numeric(i)});
+  }
+  EXPECT_EQ(t.Head(3).num_rows(), 3u);
+  EXPECT_EQ(t.Head(99).num_rows(), 5u);
+}
+
+TEST(TableTest, SampleRowsExpectedFraction) {
+  Table t(TestSchema());
+  for (int i = 0; i < 2000; ++i) {
+    t.AppendRowUnchecked({Value::Categorical(0), Value::Numeric(i % 10)});
+  }
+  Rng rng(17);
+  Table s = t.SampleRows(0.25, &rng);
+  EXPECT_NEAR(static_cast<double>(s.num_rows()), 500.0, 80.0);
+}
+
+TEST(TableTest, CellToString) {
+  Table t(TestSchema());
+  t.AppendRowUnchecked({Value::Categorical(1), Value::Numeric(3.5)});
+  EXPECT_EQ(t.CellToString(0, 0), "b");
+  EXPECT_EQ(t.CellToString(0, 1), "3.5");
+}
+
+}  // namespace
+}  // namespace kamino

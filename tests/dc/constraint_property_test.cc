@@ -1,0 +1,110 @@
+// Property tests for the DC engine: operator semantics against a
+// reference, parser round-trip stability on every generator DC, and
+// consistency between the pairwise evaluator and the predicate list.
+
+#include <gtest/gtest.h>
+
+#include "kamino/data/generators.h"
+#include "kamino/dc/constraint.h"
+
+namespace kamino {
+namespace {
+
+TEST(CompareOpPropertyTest, MatchesReferenceOnNumericGrid) {
+  const double values[] = {-2.0, -0.5, 0.0, 0.5, 2.0};
+  for (double a : values) {
+    for (double b : values) {
+      const Value va = Value::Numeric(a);
+      const Value vb = Value::Numeric(b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kEq, vb), a == b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kNe, vb), a != b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kLt, vb), a < b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kLe, vb), a <= b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kGt, vb), a > b);
+      EXPECT_EQ(EvalCompare(va, CompareOp::kGe, vb), a >= b);
+    }
+  }
+}
+
+TEST(CompareOpPropertyTest, TrichotomyOnCategoricals) {
+  for (int32_t a = 0; a < 4; ++a) {
+    for (int32_t b = 0; b < 4; ++b) {
+      const Value va = Value::Categorical(a);
+      const Value vb = Value::Categorical(b);
+      int holds = 0;
+      if (EvalCompare(va, CompareOp::kLt, vb)) ++holds;
+      if (EvalCompare(va, CompareOp::kEq, vb)) ++holds;
+      if (EvalCompare(va, CompareOp::kGt, vb)) ++holds;
+      EXPECT_EQ(holds, 1) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ParserPropertyTest, EveryGeneratorDcRoundTripsStably) {
+  for (const BenchmarkDataset& ds : MakeAllBenchmarks(10, 1)) {
+    for (const std::string& spec : ds.dc_specs) {
+      auto dc = DenialConstraint::Parse(spec, ds.table.schema());
+      ASSERT_TRUE(dc.ok()) << spec << ": " << dc.status();
+      const std::string printed = dc.value().ToString(ds.table.schema());
+      auto reparsed = DenialConstraint::Parse(printed, ds.table.schema());
+      ASSERT_TRUE(reparsed.ok()) << printed;
+      // Printing is a fixed point after one round.
+      EXPECT_EQ(reparsed.value().ToString(ds.table.schema()), printed);
+      // Structural equivalence.
+      EXPECT_EQ(reparsed.value().is_unary(), dc.value().is_unary());
+      EXPECT_EQ(reparsed.value().attributes(), dc.value().attributes());
+      EXPECT_EQ(reparsed.value().predicates().size(),
+                dc.value().predicates().size());
+    }
+  }
+}
+
+TEST(ParserPropertyTest, FiresOrderedEqualsPredicateConjunction) {
+  // FiresOrdered must be exactly the conjunction of Predicate::Eval.
+  BenchmarkDataset ds = MakeAdultLike(40, 2);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  for (const WeightedConstraint& wc : constraints) {
+    for (size_t i = 0; i < ds.table.num_rows(); i += 7) {
+      for (size_t j = 0; j < ds.table.num_rows(); j += 5) {
+        const Row& a = ds.table.row(i);
+        const Row& b = ds.table.row(j);
+        bool conjunction = true;
+        for (const Predicate& p : wc.dc.predicates()) {
+          conjunction = conjunction && p.Eval(a, b);
+        }
+        EXPECT_EQ(wc.dc.FiresOrdered(a, b), conjunction);
+      }
+    }
+  }
+}
+
+TEST(ParserPropertyTest, WhitespaceInsensitive) {
+  Schema schema({Attribute::MakeNumeric("a", 0, 9, 10),
+                 Attribute::MakeNumeric("b", 0, 9, 10)});
+  auto tight = DenialConstraint::Parse("!(t1.a>t2.a&t1.b<t2.b)", schema);
+  auto loose =
+      DenialConstraint::Parse("!(  t1.a  >  t2.a  &  t1.b  <  t2.b  )", schema);
+  ASSERT_TRUE(tight.ok()) << tight.status();
+  ASSERT_TRUE(loose.ok()) << loose.status();
+  EXPECT_EQ(tight.value().ToString(schema), loose.value().ToString(schema));
+}
+
+TEST(ParserPropertyTest, UnaryDetectionExactness) {
+  Schema schema({Attribute::MakeNumeric("a", 0, 9, 10),
+                 Attribute::MakeNumeric("b", 0, 9, 10)});
+  // Mentions only t1 -> unary.
+  EXPECT_TRUE(DenialConstraint::Parse("!(t1.a > 5 & t1.b < 3)", schema)
+                  .value()
+                  .is_unary());
+  // Mentions t2 anywhere -> binary.
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.a > 5 & t2.b < 3)", schema)
+                   .value()
+                   .is_unary());
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.a > t2.a)", schema)
+                   .value()
+                   .is_unary());
+}
+
+}  // namespace
+}  // namespace kamino

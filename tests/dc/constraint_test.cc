@@ -1,0 +1,143 @@
+#include "kamino/dc/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace kamino {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      Attribute::MakeCategorical("edu", {"hs", "bs", "ms"}),
+      Attribute::MakeNumeric("edu_num", 1, 3, 3),
+      Attribute::MakeNumeric("gain", 0, 100, 101),
+      Attribute::MakeNumeric("loss", 0, 100, 101),
+      Attribute::MakeNumeric("age", 0, 120, 121),
+  });
+}
+
+Row MakeRow(int edu, double edu_num, double gain, double loss, double age) {
+  return {Value::Categorical(edu), Value::Numeric(edu_num),
+          Value::Numeric(gain), Value::Numeric(loss), Value::Numeric(age)};
+}
+
+TEST(ConstraintParseTest, FdShape) {
+  auto dc = DenialConstraint::Parse(
+      "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_FALSE(dc.value().is_unary());
+  EXPECT_EQ(dc.value().predicates().size(), 2u);
+  std::vector<size_t> lhs;
+  size_t rhs = 0;
+  ASSERT_TRUE(dc.value().AsFd(&lhs, &rhs));
+  EXPECT_EQ(lhs, std::vector<size_t>{0});
+  EXPECT_EQ(rhs, 1u);
+}
+
+TEST(ConstraintParseTest, OrderShape) {
+  auto dc = DenialConstraint::Parse(
+      "!(t1.gain > t2.gain & t1.loss < t2.loss)", TestSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc.value().AsFd(nullptr, nullptr));
+  size_t x = 0, y = 0;
+  ASSERT_TRUE(dc.value().AsOrderPair(&x, &y));
+  EXPECT_EQ(x, 2u);
+  EXPECT_EQ(y, 3u);
+}
+
+TEST(ConstraintParseTest, UnaryWithConstants) {
+  auto dc = DenialConstraint::Parse("!(t1.age < 10 & t1.gain > 50)",
+                                    TestSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_TRUE(dc.value().is_unary());
+  EXPECT_TRUE(dc.value().ViolatesUnary(MakeRow(0, 1, 60, 0, 5)));
+  EXPECT_FALSE(dc.value().ViolatesUnary(MakeRow(0, 1, 60, 0, 50)));
+  EXPECT_FALSE(dc.value().ViolatesUnary(MakeRow(0, 1, 10, 0, 5)));
+}
+
+TEST(ConstraintParseTest, CategoricalLabelConstant) {
+  auto dc = DenialConstraint::Parse("!(t1.edu == 'bs' & t1.age < 18)",
+                                    TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_TRUE(dc.value().ViolatesUnary(MakeRow(1, 2, 0, 0, 10)));
+  EXPECT_FALSE(dc.value().ViolatesUnary(MakeRow(0, 1, 0, 0, 10)));
+}
+
+TEST(ConstraintParseTest, MalformedInputs) {
+  const Schema schema = TestSchema();
+  EXPECT_FALSE(DenialConstraint::Parse("t1.a == t2.a", schema).ok());
+  EXPECT_FALSE(DenialConstraint::Parse("!()", schema).ok());
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.unknown == t2.edu)", schema).ok());
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.edu ~ t2.edu)", schema).ok());
+  // Kind mismatch: categorical vs numeric.
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.edu == t2.age)", schema).ok());
+  // Categorical vs numeric constant.
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.edu == 3)", schema).ok());
+  // Numeric vs label constant.
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.age == 'bs')", schema).ok());
+  // Unknown label.
+  EXPECT_FALSE(DenialConstraint::Parse("!(t1.edu == 'phd')", schema).ok());
+}
+
+TEST(ConstraintParseTest, RoundTripToString) {
+  const Schema schema = TestSchema();
+  const std::string spec = "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)";
+  auto dc = DenialConstraint::Parse(spec, schema);
+  ASSERT_TRUE(dc.ok());
+  auto reparsed = DenialConstraint::Parse(dc.value().ToString(schema), schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().ToString(schema), dc.value().ToString(schema));
+}
+
+TEST(ConstraintTest, ViolatesPairIsSymmetricInInputs) {
+  auto dc = DenialConstraint::Parse(
+      "!(t1.gain > t2.gain & t1.loss < t2.loss)", TestSchema()).TakeValue();
+  Row a = MakeRow(0, 1, 50, 0, 30);
+  Row b = MakeRow(0, 1, 10, 20, 30);
+  // a has higher gain and lower loss than b: violation in one orientation.
+  EXPECT_TRUE(dc.ViolatesPair(a, b));
+  EXPECT_TRUE(dc.ViolatesPair(b, a));
+  // Ties never violate a strict order DC.
+  EXPECT_FALSE(dc.ViolatesPair(a, a));
+}
+
+TEST(ConstraintTest, AttributesSetIsSorted) {
+  auto dc = DenialConstraint::Parse(
+      "!(t1.loss < t2.loss & t1.gain > t2.gain)", TestSchema()).TakeValue();
+  EXPECT_EQ(dc.attributes(), (std::vector<size_t>{2, 3}));
+}
+
+TEST(ConstraintTest, EffectiveWeight) {
+  WeightedConstraint wc;
+  wc.hard = true;
+  wc.weight = 1.0;
+  EXPECT_DOUBLE_EQ(wc.EffectiveWeight(), 40.0);
+  wc.hard = false;
+  EXPECT_DOUBLE_EQ(wc.EffectiveWeight(), 1.0);
+}
+
+TEST(ConstraintTest, ParseConstraintsBatch) {
+  auto r = ParseConstraints({"!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)",
+                             "!(t1.age < 10 & t1.gain > 50)"},
+                            {true, false}, TestSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value()[0].hard);
+  EXPECT_FALSE(r.value()[1].hard);
+  EXPECT_FALSE(
+      ParseConstraints({"!(t1.edu == t2.edu)"}, {true, false}, TestSchema())
+          .ok());
+}
+
+TEST(ConstraintTest, AsFdRejectsNonFdShapes) {
+  const Schema schema = TestSchema();
+  // Two inequations: not an FD.
+  auto dc1 = DenialConstraint::Parse(
+      "!(t1.edu != t2.edu & t1.edu_num != t2.edu_num)", schema).TakeValue();
+  EXPECT_FALSE(dc1.AsFd(nullptr, nullptr));
+  // Constant predicate: not an FD.
+  auto dc2 =
+      DenialConstraint::Parse("!(t1.age > 10 & t1.gain > 5)", schema).TakeValue();
+  EXPECT_FALSE(dc2.AsFd(nullptr, nullptr));
+}
+
+}  // namespace
+}  // namespace kamino

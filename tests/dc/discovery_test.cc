@@ -1,0 +1,58 @@
+#include "kamino/dc/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "kamino/data/generators.h"
+#include "kamino/dc/constraint.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+TEST(DiscoveryTest, FindsPlantedFd) {
+  // zip -> state is deterministic in the Tax-like generator; discovery
+  // must surface FD-shaped DCs that hold.
+  BenchmarkDataset ds = MakeTaxLike(300, 21);
+  Rng rng(1);
+  DiscoveryOptions options;
+  options.max_constraints = 128;
+  std::vector<std::string> found =
+      DiscoverApproximateDcs(ds.table, options, &rng);
+  EXPECT_FALSE(found.empty());
+  bool has_zip_state = false;
+  for (const std::string& spec : found) {
+    if (spec.find("t1.zip == t2.zip") != std::string::npos &&
+        spec.find("t1.state != t2.state") != std::string::npos) {
+      has_zip_state = true;
+    }
+  }
+  EXPECT_TRUE(has_zip_state);
+}
+
+TEST(DiscoveryTest, AllFoundDcsParseAndApproximatelyHold) {
+  BenchmarkDataset ds = MakeAdultLike(300, 22);
+  Rng rng(2);
+  DiscoveryOptions options;
+  options.max_violation_rate = 0.01;
+  std::vector<std::string> found =
+      DiscoverApproximateDcs(ds.table, options, &rng);
+  for (const std::string& spec : found) {
+    auto dc = DenialConstraint::Parse(spec, ds.table.schema());
+    ASSERT_TRUE(dc.ok()) << spec;
+    // Rate on the sample used for discovery must be within the bound
+    // (evaluate on the same prefix the discovery used).
+    Table sample = ds.table.Head(options.sample_rows);
+    EXPECT_LE(ViolationRatePercent(dc.value(), sample), 1.0 + 1e-9) << spec;
+  }
+}
+
+TEST(DiscoveryTest, RespectsMaxConstraints) {
+  BenchmarkDataset ds = MakeTpchLike(200, 23);
+  Rng rng(3);
+  DiscoveryOptions options;
+  options.max_constraints = 5;
+  EXPECT_LE(DiscoverApproximateDcs(ds.table, options, &rng).size(), 5u);
+}
+
+}  // namespace
+}  // namespace kamino

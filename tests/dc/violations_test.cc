@@ -1,0 +1,215 @@
+#include "kamino/dc/violations.h"
+
+#include <gtest/gtest.h>
+
+#include "kamino/data/generators.h"
+
+namespace kamino {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      Attribute::MakeCategorical("x", {"a", "b", "c"}),
+      Attribute::MakeCategorical("y", {"p", "q", "r"}),
+      Attribute::MakeNumeric("u", 0, 100, 101),
+      Attribute::MakeNumeric("v", 0, 100, 101),
+  });
+}
+
+Row MakeRow(int x, int y, double u, double v) {
+  return {Value::Categorical(x), Value::Categorical(y), Value::Numeric(u),
+          Value::Numeric(v)};
+}
+
+DenialConstraint Fd(const Schema& schema) {
+  return DenialConstraint::Parse("!(t1.x == t2.x & t1.y != t2.y)", schema)
+      .TakeValue();
+}
+
+DenialConstraint Order(const Schema& schema) {
+  return DenialConstraint::Parse("!(t1.u > t2.u & t1.v < t2.v)", schema)
+      .TakeValue();
+}
+
+TEST(ViolationsTest, FdCountExact) {
+  Schema schema = TestSchema();
+  Table t(schema);
+  // Group x=0: y values {p, p, q} -> violating pairs = C(3,2) - C(2,2) = 2.
+  t.AppendRowUnchecked(MakeRow(0, 0, 0, 0));
+  t.AppendRowUnchecked(MakeRow(0, 0, 0, 0));
+  t.AppendRowUnchecked(MakeRow(0, 1, 0, 0));
+  // Group x=1: consistent.
+  t.AppendRowUnchecked(MakeRow(1, 2, 0, 0));
+  t.AppendRowUnchecked(MakeRow(1, 2, 0, 0));
+  EXPECT_EQ(CountViolations(Fd(schema), t), 2);
+  EXPECT_EQ(CountViolationsNaive(Fd(schema), t), 2);
+}
+
+TEST(ViolationsTest, FastPathMatchesNaiveOnRandomData) {
+  // Property test: the FD group-counting fast path must agree with the
+  // quadratic reference on arbitrary instances.
+  Schema schema = TestSchema();
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Table t(schema);
+    const int n = 40 + trial * 10;
+    for (int i = 0; i < n; ++i) {
+      t.AppendRowUnchecked(MakeRow(
+          static_cast<int>(rng.UniformInt(0, 2)),
+          static_cast<int>(rng.UniformInt(0, 2)),
+          static_cast<double>(rng.UniformInt(0, 5)),
+          static_cast<double>(rng.UniformInt(0, 5))));
+    }
+    EXPECT_EQ(CountViolations(Fd(schema), t),
+              CountViolationsNaive(Fd(schema), t))
+        << "trial " << trial;
+  }
+}
+
+TEST(ViolationsTest, OrderDcCount) {
+  Schema schema = TestSchema();
+  Table t(schema);
+  t.AppendRowUnchecked(MakeRow(0, 0, 10, 10));
+  t.AppendRowUnchecked(MakeRow(0, 0, 20, 5));  // higher u, lower v than row 0
+  t.AppendRowUnchecked(MakeRow(0, 0, 30, 3));  // violates rows 0 and 1
+  EXPECT_EQ(CountViolations(Order(schema), t), 3);
+  EXPECT_EQ(CountViolationsNaive(Order(schema), t), 3);
+}
+
+TEST(ViolationsTest, UnaryCountsTuples) {
+  Schema schema = TestSchema();
+  auto dc =
+      DenialConstraint::Parse("!(t1.u > 50)", schema).TakeValue();
+  Table t(schema);
+  t.AppendRowUnchecked(MakeRow(0, 0, 60, 0));
+  t.AppendRowUnchecked(MakeRow(0, 0, 40, 0));
+  t.AppendRowUnchecked(MakeRow(0, 0, 70, 0));
+  EXPECT_EQ(CountViolations(dc, t), 2);
+  EXPECT_DOUBLE_EQ(ViolationRatePercent(dc, t), 100.0 * 2 / 3);
+}
+
+TEST(ViolationsTest, RatePercentBinary) {
+  Schema schema = TestSchema();
+  Table t(schema);
+  t.AppendRowUnchecked(MakeRow(0, 0, 0, 0));
+  t.AppendRowUnchecked(MakeRow(0, 1, 0, 0));
+  t.AppendRowUnchecked(MakeRow(1, 0, 0, 0));
+  // 1 violating pair out of C(3,2)=3.
+  EXPECT_NEAR(ViolationRatePercent(Fd(schema), t), 100.0 / 3, 1e-9);
+}
+
+TEST(ViolationsTest, EmptyTableIsZero) {
+  Schema schema = TestSchema();
+  Table t(schema);
+  EXPECT_EQ(CountViolations(Fd(schema), t), 0);
+  EXPECT_DOUBLE_EQ(ViolationRatePercent(Fd(schema), t), 0.0);
+}
+
+TEST(ViolationsTest, IncrementalDecompositionSumsToTotal) {
+  // Eqn (3): |V(phi, D)| = sum_i |V(phi, t_i | D_:i)|.
+  Schema schema = TestSchema();
+  Rng rng(7);
+  for (const DenialConstraint& dc : {Fd(schema), Order(schema)}) {
+    Table t(schema);
+    for (int i = 0; i < 60; ++i) {
+      t.AppendRowUnchecked(MakeRow(
+          static_cast<int>(rng.UniformInt(0, 2)),
+          static_cast<int>(rng.UniformInt(0, 2)),
+          static_cast<double>(rng.UniformInt(0, 8)),
+          static_cast<double>(rng.UniformInt(0, 8))));
+    }
+    int64_t incremental = 0;
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      incremental += CountNewViolations(dc, t.row(i), t, i);
+    }
+    EXPECT_EQ(incremental, CountViolations(dc, t));
+  }
+}
+
+TEST(ViolationIndexTest, FdIndexMatchesIncremental) {
+  Schema schema = TestSchema();
+  DenialConstraint dc = Fd(schema);
+  auto index = MakeViolationIndex(dc);
+  Rng rng(13);
+  Table t(schema);
+  for (int i = 0; i < 80; ++i) {
+    Row row = MakeRow(static_cast<int>(rng.UniformInt(0, 2)),
+                      static_cast<int>(rng.UniformInt(0, 2)), 0, 0);
+    EXPECT_EQ(index->CountNew(row), CountNewViolations(dc, row, t, i))
+        << "row " << i;
+    index->AddRow(row);
+    t.AppendRowUnchecked(row);
+  }
+  EXPECT_EQ(index->size(), 80u);
+}
+
+TEST(ViolationIndexTest, NaiveIndexMatchesIncremental) {
+  Schema schema = TestSchema();
+  DenialConstraint dc = Order(schema);
+  auto index = MakeViolationIndex(dc);
+  Rng rng(29);
+  Table t(schema);
+  for (int i = 0; i < 60; ++i) {
+    Row row = MakeRow(0, 0, static_cast<double>(rng.UniformInt(0, 9)),
+                      static_cast<double>(rng.UniformInt(0, 9)));
+    EXPECT_EQ(index->CountNew(row), CountNewViolations(dc, row, t, i));
+    index->AddRow(row);
+    t.AppendRowUnchecked(row);
+  }
+}
+
+TEST(ViolationIndexTest, UnaryIndex) {
+  Schema schema = TestSchema();
+  auto dc = DenialConstraint::Parse("!(t1.u > 50)", schema).TakeValue();
+  auto index = MakeViolationIndex(dc);
+  EXPECT_EQ(index->CountNew(MakeRow(0, 0, 60, 0)), 1);
+  EXPECT_EQ(index->CountNew(MakeRow(0, 0, 40, 0)), 0);
+}
+
+TEST(ViolationIndexTest, FdForcedValueReportsGroupValue) {
+  Schema schema = TestSchema();
+  auto index = MakeViolationIndex(Fd(schema));
+  EXPECT_FALSE(index->FdForcedValue(MakeRow(0, 0, 0, 0)).has_value());
+  index->AddRow(MakeRow(0, 2, 0, 0));
+  auto forced = index->FdForcedValue(MakeRow(0, 0, 0, 0));
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->category(), 2);
+  // Different group still unseen.
+  EXPECT_FALSE(index->FdForcedValue(MakeRow(1, 0, 0, 0)).has_value());
+}
+
+TEST(ViolationMatrixTest, CountsPerTupleViolations) {
+  Schema schema = TestSchema();
+  std::vector<WeightedConstraint> constraints =
+      ParseConstraints({"!(t1.x == t2.x & t1.y != t2.y)", "!(t1.u > 50)"},
+                       {false, false}, schema)
+          .TakeValue();
+  Table t(schema);
+  t.AppendRowUnchecked(MakeRow(0, 0, 60, 0));
+  t.AppendRowUnchecked(MakeRow(0, 1, 40, 0));
+  t.AppendRowUnchecked(MakeRow(1, 0, 40, 0));
+  auto matrix = BuildViolationMatrix(t, constraints);
+  ASSERT_EQ(matrix.size(), 3u);
+  // FD: rows 0 and 1 violate each other (x=0, y differs).
+  EXPECT_DOUBLE_EQ(matrix[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(matrix[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(matrix[2][0], 0.0);
+  // Unary: only row 0 has u > 50.
+  EXPECT_DOUBLE_EQ(matrix[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(matrix[1][1], 0.0);
+}
+
+TEST(ViolationsTest, GeneratorCrossCheck) {
+  // The Adult-like generator's hard DCs must also agree between fast and
+  // naive counting (mixed FD + order shapes on realistic data).
+  BenchmarkDataset ds = MakeAdultLike(150, 5);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  for (const WeightedConstraint& wc : constraints) {
+    EXPECT_EQ(CountViolations(wc.dc, ds.table),
+              CountViolationsNaive(wc.dc, ds.table));
+  }
+}
+
+}  // namespace
+}  // namespace kamino

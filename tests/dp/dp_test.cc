@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kamino/dp/gaussian.h"
+#include "kamino/dp/rdp.h"
+
+namespace kamino {
+namespace {
+
+TEST(GaussianMechanismTest, ClassicCalibration) {
+  // sigma = sqrt(2 ln(1.25/delta)) / epsilon.
+  const double sigma = GaussianSigmaFor(1.0, 1e-6);
+  EXPECT_NEAR(sigma, std::sqrt(2.0 * std::log(1.25e6)), 1e-9);
+  EXPECT_GT(GaussianSigmaFor(0.5, 1e-6), sigma);
+}
+
+TEST(GaussianMechanismTest, NoiseIsUnbiasedAtScale) {
+  Rng rng(1);
+  std::vector<double> values(5000, 10.0);
+  AddGaussianNoise(&values, 2.0, 3.0, &rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += (v - 10.0) * (v - 10.0);
+  }
+  EXPECT_NEAR(sum / values.size(), 10.0, 0.3);
+  EXPECT_NEAR(std::sqrt(sum_sq / values.size()), 6.0, 0.3);
+}
+
+TEST(GaussianMechanismTest, NoisyHistogramIsDistribution) {
+  Rng rng(2);
+  std::vector<double> counts = {50, 30, 20, 0};
+  std::vector<double> dist = NoisyNormalizedHistogram(counts, 1.0, &rng);
+  double total = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GaussianMechanismTest, ZeroSigmaIsExact) {
+  Rng rng(3);
+  std::vector<double> counts = {75, 25};
+  std::vector<double> dist = NoisyNormalizedHistogram(counts, 0.0, &rng);
+  EXPECT_DOUBLE_EQ(dist[0], 0.75);
+  EXPECT_DOUBLE_EQ(dist[1], 0.25);
+}
+
+TEST(GaussianMechanismTest, ViolationMatrixSensitivityLemma1) {
+  // |phi_u| + |phi_b| * sqrt(Lw^2 - Lw).
+  EXPECT_NEAR(ViolationMatrixSensitivity(2, 0, 100), 2.0, 1e-12);
+  EXPECT_NEAR(ViolationMatrixSensitivity(0, 1, 100),
+              std::sqrt(100.0 * 100.0 - 100.0), 1e-9);
+  EXPECT_NEAR(ViolationMatrixSensitivity(1, 2, 10),
+              1.0 + 2.0 * std::sqrt(90.0), 1e-9);
+}
+
+TEST(RdpTest, GaussianRdpClosedForm) {
+  EXPECT_DOUBLE_EQ(GaussianRdp(1.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(2.0, 8), 1.0);
+}
+
+TEST(RdpTest, SgmReducesToGaussianAtFullSampling) {
+  for (int alpha : {2, 4, 16}) {
+    EXPECT_NEAR(SampledGaussianRdp(1.3, 1.0, alpha), GaussianRdp(1.3, alpha),
+                1e-12);
+  }
+}
+
+TEST(RdpTest, SgmZeroRateIsFree) {
+  EXPECT_DOUBLE_EQ(SampledGaussianRdp(1.0, 0.0, 8), 0.0);
+}
+
+TEST(RdpTest, SgmMonotoneInSamplingRate) {
+  double prev = 0.0;
+  for (double q : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+    const double eps = SampledGaussianRdp(1.1, q, 8);
+    EXPECT_GE(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(RdpTest, SgmMonotoneDecreasingInSigma) {
+  double prev = 1e18;
+  for (double sigma : {0.5, 1.0, 2.0, 4.0}) {
+    const double eps = SampledGaussianRdp(sigma, 0.1, 8);
+    EXPECT_LE(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(RdpTest, SubsamplingAmplifiesPrivacy) {
+  // Small q must cost far less than the unsampled mechanism.
+  EXPECT_LT(SampledGaussianRdp(1.0, 0.01, 8),
+            0.1 * SampledGaussianRdp(1.0, 1.0, 8));
+}
+
+TEST(RdpTest, AccountantComposesLinearly) {
+  RdpAccountant one;
+  one.AddGaussian(1.0, 1);
+  RdpAccountant ten;
+  ten.AddGaussian(1.0, 10);
+  EXPECT_NEAR(ten.CostAt(8), 10.0 * one.CostAt(8), 1e-12);
+}
+
+TEST(RdpTest, EpsilonDecreasesWithLargerDelta) {
+  RdpAccountant acc;
+  acc.AddGaussian(2.0, 5);
+  EXPECT_GT(acc.EpsilonFor(1e-9), acc.EpsilonFor(1e-3));
+}
+
+TEST(RdpTest, GaussianTailBoundIsReasonable) {
+  // One Gaussian with sigma ~ 4.75 should give roughly epsilon = 1 at
+  // delta = 1e-6 (the classic calibration is a bit conservative; RDP can
+  // be tighter). Sanity-check the ballpark.
+  RdpAccountant acc;
+  acc.AddGaussian(GaussianSigmaFor(1.0, 1e-6), 1);
+  const double eps = acc.EpsilonFor(1e-6);
+  EXPECT_GT(eps, 0.3);
+  EXPECT_LT(eps, 1.2);
+}
+
+TEST(RdpTest, CalibrationInvertsAccounting) {
+  const double sigma = CalibrateGaussianSigma(10, 1.0, 1e-6);
+  RdpAccountant acc;
+  acc.AddGaussian(sigma, 10);
+  const double eps = acc.EpsilonFor(1e-6);
+  EXPECT_LE(eps, 1.0 + 1e-6);
+  EXPECT_GT(eps, 0.9);  // not wastefully conservative
+}
+
+TEST(RdpTest, SgmCalibrationInvertsAccounting) {
+  const double sigma = CalibrateSgmSigma(500, 0.05, 1.0, 1e-6);
+  RdpAccountant acc;
+  acc.AddSampledGaussian(sigma, 0.05, 500);
+  EXPECT_LE(acc.EpsilonFor(1e-6), 1.0 + 1e-6);
+}
+
+TEST(RdpTest, KaminoEpsilonTheorem1Components) {
+  KaminoPrivacyParams params;
+  params.sigma_g = 4.0;
+  params.sigma_d = 1.1;
+  params.batch_size = 16;
+  params.iterations = 100;
+  params.num_models = 10;
+  params.num_rows = 10000;
+  params.learn_weights = false;
+  const double eps_without = KaminoEpsilon(params, 1e-6);
+  EXPECT_GT(eps_without, 0.0);
+  params.learn_weights = true;
+  params.sigma_w = 1.0;
+  params.weight_sample = 100;
+  EXPECT_GT(KaminoEpsilon(params, 1e-6), eps_without);
+}
+
+TEST(RdpTest, MoreModelsCostMore) {
+  KaminoPrivacyParams a;
+  a.num_models = 5;
+  a.num_rows = 5000;
+  a.iterations = 50;
+  KaminoPrivacyParams b = a;
+  b.num_models = 10;
+  EXPECT_GT(KaminoEpsilon(b, 1e-6), KaminoEpsilon(a, 1e-6));
+}
+
+}  // namespace
+}  // namespace kamino

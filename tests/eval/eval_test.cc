@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "kamino/data/generators.h"
+#include "kamino/dc/violations.h"
+#include "kamino/eval/classifiers.h"
+#include "kamino/eval/marginals.h"
+#include "kamino/eval/repair.h"
+
+namespace kamino {
+namespace {
+
+TEST(MarginalsTest, IdenticalTablesHaveZeroDistance) {
+  BenchmarkDataset ds = MakeTpchLike(200, 1);
+  EXPECT_DOUBLE_EQ(MarginalDistance(ds.table, ds.table, {0, 1}, 8), 0.0);
+  for (double d : OneWayMarginalDistances(ds.table, ds.table, 8)) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(MarginalsTest, DisjointDistributionsHaveLargeDistance) {
+  Schema schema({Attribute::MakeCategorical("c", {"a", "b"})});
+  Table all_a(schema), all_b(schema);
+  for (int i = 0; i < 50; ++i) {
+    all_a.AppendRowUnchecked({Value::Categorical(0)});
+    all_b.AppendRowUnchecked({Value::Categorical(1)});
+  }
+  EXPECT_DOUBLE_EQ(MarginalDistance(all_a, all_b, {0}, 4), 1.0);
+}
+
+TEST(MarginalsTest, TwoWayRespectsPairBudget) {
+  BenchmarkDataset ds = MakeTpchLike(100, 2);
+  Rng rng(1);
+  EXPECT_EQ(TwoWayMarginalDistances(ds.table, ds.table, 8, 5, &rng).size(),
+            5u);
+}
+
+TEST(MarginalsTest, MeanAndMax) {
+  std::vector<double> v = {0.1, 0.2, 0.6};
+  EXPECT_NEAR(MeanOf(v), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(MaxOf(v), 0.6);
+  EXPECT_DOUBLE_EQ(MeanOf({}), 0.0);
+}
+
+TEST(ClassifiersTest, BasketLearnsSeparableTask) {
+  // Feature 0 determines the label; every basket member should beat 0.8
+  // accuracy on it.
+  Rng rng(3);
+  LabeledData train, test;
+  for (int i = 0; i < 400; ++i) {
+    const int y = static_cast<int>(rng.UniformInt(0, 1));
+    std::vector<double> x = {static_cast<double>(y), rng.Uniform(),
+                             rng.Uniform()};
+    if (i < 300) {
+      train.x.push_back(x);
+      train.y.push_back(y);
+    } else {
+      test.x.push_back(x);
+      test.y.push_back(y);
+    }
+  }
+  for (auto& model : MakeClassifierBasket()) {
+    model->Fit(train, &rng);
+    const ClassificationQuality q = Score(*model, test);
+    EXPECT_GT(q.accuracy, 0.8) << model->name();
+    EXPECT_GT(q.f1, 0.8) << model->name();
+  }
+}
+
+TEST(ClassifiersTest, ScoreComputesF1) {
+  // Degenerate all-positive predictor on a balanced set.
+  class AlwaysOne : public BinaryClassifier {
+   public:
+    void Fit(const LabeledData&, Rng*) override {}
+    int Predict(const std::vector<double>&) const override { return 1; }
+    std::string name() const override { return "one"; }
+  };
+  LabeledData test;
+  test.x = {{0}, {0}, {0}, {0}};
+  test.y = {1, 1, 0, 0};
+  AlwaysOne model;
+  const ClassificationQuality q = Score(model, test);
+  EXPECT_DOUBLE_EQ(q.accuracy, 0.5);
+  EXPECT_NEAR(q.f1, 2.0 * 0.5 * 1.0 / 1.5, 1e-12);  // p=0.5, r=1
+}
+
+TEST(ClassifiersTest, LabelRuleFromTruth) {
+  Schema schema({Attribute::MakeCategorical("c", {"a", "b"}),
+                 Attribute::MakeNumeric("n", 0, 100, 101)});
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) {
+    t.AppendRowUnchecked({Value::Categorical(i < 7 ? 0 : 1),
+                          Value::Numeric(static_cast<double>(i))});
+  }
+  LabelRule cat_rule = MakeLabelRule(t, 0);
+  EXPECT_TRUE(cat_rule.categorical);
+  EXPECT_EQ(cat_rule.majority_category, 0);
+  EXPECT_EQ(cat_rule.LabelOf(Value::Categorical(0)), 1);
+  EXPECT_EQ(cat_rule.LabelOf(Value::Categorical(1)), 0);
+
+  LabelRule num_rule = MakeLabelRule(t, 1);
+  EXPECT_FALSE(num_rule.categorical);
+  EXPECT_EQ(num_rule.LabelOf(Value::Numeric(99)), 1);
+  EXPECT_EQ(num_rule.LabelOf(Value::Numeric(0)), 0);
+}
+
+TEST(ClassifiersTest, TrainOnTruthScoresWell) {
+  // Sanity anchor for Metric II: training the basket on the truth itself
+  // must produce decent accuracy on most attributes.
+  BenchmarkDataset ds = MakeAdultLike(500, 4);
+  Rng rng(5);
+  auto per_attr = EvaluateModelTraining(ds.table, ds.table, &rng);
+  ASSERT_EQ(per_attr.size(), ds.table.schema().size());
+  EXPECT_GT(MeanQuality(per_attr).accuracy, 0.7);
+}
+
+TEST(RepairTest, FixesFdViolations) {
+  Schema schema({Attribute::MakeCategorical("x", {"a", "b"}),
+                 Attribute::MakeCategorical("y", {"p", "q", "r"})});
+  auto constraints =
+      ParseConstraints({"!(t1.x == t2.x & t1.y != t2.y)"}, {true}, schema)
+          .TakeValue();
+  Table dirty(schema);
+  dirty.AppendRowUnchecked({Value::Categorical(0), Value::Categorical(0)});
+  dirty.AppendRowUnchecked({Value::Categorical(0), Value::Categorical(0)});
+  dirty.AppendRowUnchecked({Value::Categorical(0), Value::Categorical(1)});
+  dirty.AppendRowUnchecked({Value::Categorical(1), Value::Categorical(2)});
+  ASSERT_GT(CountViolations(constraints[0].dc, dirty), 0);
+  Table repaired = RepairViolations(dirty, constraints);
+  EXPECT_EQ(CountViolations(constraints[0].dc, repaired), 0);
+  // Majority repair: group x=a keeps y=p.
+  EXPECT_EQ(repaired.at(2, 1).category(), 0);
+}
+
+TEST(RepairTest, FixesOrderViolationsPreservingMarginal) {
+  Schema schema({Attribute::MakeNumeric("u", 0, 100, 101),
+                 Attribute::MakeNumeric("v", 0, 100, 101)});
+  auto constraints =
+      ParseConstraints({"!(t1.u > t2.u & t1.v < t2.v)"}, {true}, schema)
+          .TakeValue();
+  Rng rng(6);
+  Table dirty(schema);
+  for (int i = 0; i < 60; ++i) {
+    dirty.AppendRowUnchecked(
+        {Value::Numeric(static_cast<double>(rng.UniformInt(0, 100))),
+         Value::Numeric(static_cast<double>(rng.UniformInt(0, 100)))});
+  }
+  ASSERT_GT(CountViolations(constraints[0].dc, dirty), 0);
+  Table repaired = RepairViolations(dirty, constraints);
+  EXPECT_EQ(CountViolations(constraints[0].dc, repaired), 0);
+  // The v marginal is preserved exactly (values were only permuted).
+  EXPECT_DOUBLE_EQ(MarginalDistance(repaired, dirty, {1}, 20), 0.0);
+}
+
+TEST(RepairTest, CleanDataUnchangedByFdRepair) {
+  BenchmarkDataset ds = MakeTpchLike(150, 7);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  Table repaired = RepairViolations(ds.table, constraints);
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    for (size_t c = 0; c < ds.table.num_columns(); ++c) {
+      EXPECT_TRUE(repaired.at(r, c) == ds.table.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,116 @@
+// Parameterized integration sweep: the full private pipeline on each of
+// the four generated workloads, checking the invariants every run must
+// satisfy regardless of dataset shape.
+
+#include <gtest/gtest.h>
+
+#include "kamino/core/kamino.h"
+#include "kamino/data/generators.h"
+#include "kamino/dc/violations.h"
+
+namespace kamino {
+namespace {
+
+class DatasetPipelineTest : public ::testing::TestWithParam<int> {
+ protected:
+  BenchmarkDataset Make() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeAdultLike(250, 77);
+      case 1:
+        return MakeBr2000Like(250, 77);
+      case 2:
+        return MakeTaxLike(250, 77);
+      default:
+        return MakeTpchLike(250, 77);
+    }
+  }
+
+  KaminoResult Run(const BenchmarkDataset& ds, uint64_t seed) const {
+    auto constraints =
+        ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema())
+            .TakeValue();
+    KaminoConfig config;
+    config.epsilon = 1.0;
+    config.delta = 1e-6;
+    config.options.seed = seed;
+    config.options.iterations = 25;
+    auto result = RunKamino(ds.table, constraints, config);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).TakeValue();
+  }
+};
+
+TEST_P(DatasetPipelineTest, OutputSchemaAndDomainsValid) {
+  BenchmarkDataset ds = Make();
+  KaminoResult r = Run(ds, 1);
+  EXPECT_EQ(r.synthetic.num_rows(), ds.table.num_rows());
+  EXPECT_EQ(r.synthetic.num_columns(), ds.table.num_columns());
+  for (size_t row = 0; row < r.synthetic.num_rows(); ++row) {
+    for (size_t col = 0; col < r.synthetic.num_columns(); ++col) {
+      ASSERT_TRUE(
+          ds.table.schema().attribute(col).Contains(r.synthetic.at(row, col)))
+          << "row " << row << " col " << col;
+    }
+  }
+}
+
+TEST_P(DatasetPipelineTest, BudgetNeverExceeded) {
+  BenchmarkDataset ds = Make();
+  KaminoResult r = Run(ds, 2);
+  EXPECT_LE(r.epsilon_spent, 1.0 + 1e-9);
+  EXPECT_GT(r.epsilon_spent, 0.0);
+}
+
+TEST_P(DatasetPipelineTest, HardDcViolationsStayNearTruth) {
+  BenchmarkDataset ds = Make();
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoResult r = Run(ds, 3);
+  for (const WeightedConstraint& wc : constraints) {
+    if (!wc.hard) continue;
+    // Truth rate is 0 for hard DCs; the synthetic rate must stay tiny
+    // even under DP noise (Requirement R1).
+    EXPECT_LT(ViolationRatePercent(wc.dc, r.synthetic), 2.0)
+        << wc.dc.ToString(ds.table.schema());
+  }
+}
+
+TEST_P(DatasetPipelineTest, SameSeedIsDeterministic) {
+  BenchmarkDataset ds = Make();
+  KaminoResult a = Run(ds, 9);
+  KaminoResult b = Run(ds, 9);
+  ASSERT_EQ(a.synthetic.num_rows(), b.synthetic.num_rows());
+  for (size_t row = 0; row < a.synthetic.num_rows(); ++row) {
+    for (size_t col = 0; col < a.synthetic.num_columns(); ++col) {
+      ASSERT_TRUE(a.synthetic.at(row, col) == b.synthetic.at(row, col))
+          << "divergence at " << row << "," << col;
+    }
+  }
+}
+
+TEST_P(DatasetPipelineTest, DifferentSeedsDiffer) {
+  BenchmarkDataset ds = Make();
+  KaminoResult a = Run(ds, 10);
+  KaminoResult b = Run(ds, 11);
+  size_t differing = 0;
+  for (size_t row = 0; row < a.synthetic.num_rows(); ++row) {
+    for (size_t col = 0; col < a.synthetic.num_columns(); ++col) {
+      if (!(a.synthetic.at(row, col) == b.synthetic.at(row, col))) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+std::string PipelineDatasetName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"adult", "br2000", "tax", "tpch"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetPipelineTest,
+                         ::testing::Values(0, 1, 2, 3), PipelineDatasetName);
+
+}  // namespace
+}  // namespace kamino

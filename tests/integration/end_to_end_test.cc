@@ -1,0 +1,123 @@
+// Integration tests across the whole stack: generated workload -> Kamino /
+// baselines -> evaluation metrics. These assert the paper's *qualitative*
+// claims at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "kamino/baselines/privbayes.h"
+#include "kamino/core/kamino.h"
+#include "kamino/data/generators.h"
+#include "kamino/dc/violations.h"
+#include "kamino/eval/classifiers.h"
+#include "kamino/eval/marginals.h"
+
+namespace kamino {
+namespace {
+
+TEST(EndToEndTest, KaminoPreservesAdultHardDcsBaselineDoesNot) {
+  BenchmarkDataset ds = MakeAdultLike(300, 42);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+
+  KaminoConfig config;
+  config.epsilon = 1.0;
+  config.delta = 1e-6;
+  config.options.seed = 9;
+  config.options.iterations = 30;
+  auto kamino_result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(kamino_result.ok()) << kamino_result.status();
+
+  PrivBayes::Options pb_options;
+  pb_options.epsilon = 1.0;
+  PrivBayes privbayes(pb_options);
+  Rng rng(10);
+  Table pb_synth =
+      privbayes.Synthesize(ds.table, ds.table.num_rows(), &rng).TakeValue();
+
+  // The FD edu -> edu_num: Kamino keeps it (near) intact, PrivBayes'
+  // i.i.d. tuples violate it broadly (Table 2's headline contrast).
+  const DenialConstraint& fd = constraints[0].dc;
+  const double kamino_rate =
+      ViolationRatePercent(fd, kamino_result.value().synthetic);
+  const double privbayes_rate = ViolationRatePercent(fd, pb_synth);
+  EXPECT_LT(kamino_rate, 0.5);
+  EXPECT_GT(privbayes_rate, 2.0 * (kamino_rate + 0.1));
+}
+
+TEST(EndToEndTest, SyntheticDataSupportsDownstreamMetrics) {
+  BenchmarkDataset ds = MakeTpchLike(250, 43);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.options.non_private = true;
+  config.options.iterations = 30;
+  config.options.seed = 2;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok());
+
+  // Marginal distances are bounded and finite.
+  Rng rng(3);
+  const auto one_way =
+      OneWayMarginalDistances(result.value().synthetic, ds.table, 16);
+  for (double d : one_way) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+  // Non-private synthesis should track 1-way marginals quite closely.
+  EXPECT_LT(MeanOf(one_way), 0.30);
+
+  // The classification harness runs end-to-end on the synthetic table.
+  auto quality =
+      EvaluateModelTraining(result.value().synthetic, ds.table, &rng);
+  EXPECT_EQ(quality.size(), ds.table.schema().size());
+  EXPECT_GT(MeanQuality(quality).accuracy, 0.5);
+}
+
+TEST(EndToEndTest, AblationOrderingOnViolations) {
+  // Experiment 5's shape: full Kamino <= RandSampling on violations.
+  BenchmarkDataset ds = MakeAdultLike(200, 44);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+
+  auto run = [&](bool constraint_aware) {
+    KaminoConfig config;
+    config.options.non_private = true;
+    config.options.iterations = 15;
+    config.options.seed = 5;
+    config.options.constraint_aware_sampling = constraint_aware;
+    auto result = RunKamino(ds.table, constraints, config);
+    EXPECT_TRUE(result.ok());
+    int64_t violations = 0;
+    for (const WeightedConstraint& wc : constraints) {
+      violations += CountViolations(wc.dc, result.value().synthetic);
+    }
+    return violations;
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(EndToEndTest, EpsilonImprovesMarginals) {
+  // Figure 6's direction: much more budget => no worse (usually better)
+  // marginals. Compare eps=0.2 against non-private.
+  BenchmarkDataset ds = MakeTpchLike(250, 45);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+
+  auto mean_distance = [&](double epsilon, bool non_private) {
+    KaminoConfig config;
+    config.epsilon = epsilon;
+    config.options.non_private = non_private;
+    config.options.iterations = 30;
+    config.options.seed = 11;
+    auto result = RunKamino(ds.table, constraints, config);
+    EXPECT_TRUE(result.ok());
+    return MeanOf(
+        OneWayMarginalDistances(result.value().synthetic, ds.table, 16));
+  };
+  const double low_budget = mean_distance(0.2, false);
+  const double infinite = mean_distance(0.0, true);
+  EXPECT_LE(infinite, low_budget + 0.05);
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kamino/data/table.h"
+#include "kamino/nn/discriminative.h"
+#include "kamino/nn/dpsgd.h"
+#include "kamino/nn/encoders.h"
+
+namespace kamino {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      Attribute::MakeCategorical("a", {"x", "y", "z"}),
+      Attribute::MakeNumeric("n", 0, 10, 11),
+      Attribute::MakeCategorical("b", {"p", "q"}),
+  });
+}
+
+TEST(EncoderTest, CategoricalEmbeddingShape) {
+  Schema schema = TestSchema();
+  Rng rng(1);
+  AttributeEncoder enc(schema.attribute(0), 8, &rng);
+  ForwardContext ctx;
+  Var e = enc.Encode(Value::Categorical(2), &ctx);
+  EXPECT_EQ(e->value.rows(), 1u);
+  EXPECT_EQ(e->value.cols(), 8u);
+  EXPECT_EQ(enc.Parameters().size(), 1u);
+}
+
+TEST(EncoderTest, NumericEmbeddingShapeAndParams) {
+  Schema schema = TestSchema();
+  Rng rng(1);
+  AttributeEncoder enc(schema.attribute(1), 8, &rng);
+  ForwardContext ctx;
+  Var e = enc.Encode(Value::Numeric(5.0), &ctx);
+  EXPECT_EQ(e->value.cols(), 8u);
+  EXPECT_EQ(enc.Parameters().size(), 4u);
+}
+
+TEST(EncoderTest, StandardizeRoundTrip) {
+  Schema schema = TestSchema();
+  Rng rng(1);
+  AttributeEncoder enc(schema.attribute(1), 4, &rng);
+  for (double v : {0.0, 2.5, 10.0}) {
+    EXPECT_NEAR(enc.Destandardize(enc.Standardize(v)), v, 1e-9);
+  }
+}
+
+TEST(EncoderTest, CopyFromTransfersValues) {
+  Schema schema = TestSchema();
+  Rng rng1(1), rng2(2);
+  AttributeEncoder a(schema.attribute(0), 4, &rng1);
+  AttributeEncoder b(schema.attribute(0), 4, &rng2);
+  b.CopyFrom(a);
+  ForwardContext ctx_a, ctx_b;
+  Var ea = a.Encode(Value::Categorical(1), &ctx_a);
+  Var eb = b.Encode(Value::Categorical(1), &ctx_b);
+  for (size_t i = 0; i < ea->value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea->value[i], eb->value[i]);
+  }
+}
+
+TEST(ForwardContextTest, BindReusesSameLeafPerParameter) {
+  Parameter p(Tensor::RowVector({1, 2, 3}));
+  ForwardContext ctx;
+  Var a = ctx.Bind(&p);
+  Var b = ctx.Bind(&p);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(ctx.bindings().size(), 1u);
+}
+
+TEST(DiscriminativeModelTest, CategoricalPredictionIsDistribution) {
+  Schema schema = TestSchema();
+  Rng rng(2);
+  EncoderStore store(schema, 8, &rng);
+  DiscriminativeModel model(schema, {0, 1}, {2}, &store, &rng);
+  Row row = {Value::Categorical(1), Value::Numeric(4), Value::Categorical(0)};
+  std::vector<double> probs = model.PredictCategorical(row);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+  EXPECT_GE(probs[0], 0.0);
+}
+
+TEST(DiscriminativeModelTest, JointTargetIndexRoundTrip) {
+  Schema schema = TestSchema();
+  Rng rng(3);
+  EncoderStore store(schema, 8, &rng);
+  // Joint target over (a: 3, b: 2) = 6 classes, context n.
+  DiscriminativeModel model(schema, {1}, {0, 2}, &store, &rng);
+  EXPECT_EQ(model.joint_domain_size(), 6u);
+  for (size_t idx = 0; idx < 6; ++idx) {
+    std::vector<int32_t> vals = model.DecodeJointIndex(idx);
+    Row row = {Value::Categorical(vals[0]), Value::Numeric(0),
+               Value::Categorical(vals[1])};
+    EXPECT_EQ(model.JointIndex(row), idx);
+  }
+}
+
+TEST(DiscriminativeModelTest, LossGradientMatchesFiniteDifference) {
+  Schema schema = TestSchema();
+  Rng rng(4);
+  EncoderStore store(schema, 6, &rng);
+  DiscriminativeModel model(schema, {0, 1}, {2}, &store, &rng);
+  Row row = {Value::Categorical(2), Value::Numeric(7), Value::Categorical(1)};
+
+  std::vector<Parameter*> params = model.Parameters();
+  ForwardContext ctx;
+  Var loss = model.Loss(row, &ctx);
+  Backward(loss);
+  std::vector<Tensor> grads = ZeroGradients(params);
+  ctx.AccumulateInto(params, &grads);
+
+  auto loss_fn = [&]() {
+    ForwardContext c;
+    return model.Loss(row, &c)->value[0];
+  };
+  for (size_t p = 0; p < params.size(); ++p) {
+    EXPECT_LT(MaxGradError(&params[p]->value, grads[p], loss_fn), 1e-5)
+        << "parameter " << p;
+  }
+}
+
+TEST(DiscriminativeModelTest, GaussianHeadDestandardizes) {
+  Schema schema = TestSchema();
+  Rng rng(5);
+  EncoderStore store(schema, 6, &rng);
+  DiscriminativeModel model(schema, {0}, {1}, &store, &rng);
+  Row row = {Value::Categorical(0), Value::Numeric(0), Value::Categorical(0)};
+  auto [mean, stddev] = model.PredictGaussian(row);
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_GT(stddev, 0.0);
+}
+
+TEST(DpSgdTest, ClipGradientsScalesToNorm) {
+  std::vector<Tensor> grads = {Tensor::RowVector({3.0, 0.0}),
+                               Tensor::RowVector({0.0, 4.0})};
+  ClipGradients(&grads, 1.0);  // norm was 5
+  double norm_sq = grads[0].SquaredL2() + grads[1].SquaredL2();
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-12);
+  // Already-small gradients are untouched.
+  std::vector<Tensor> small = {Tensor::RowVector({0.1, 0.0})};
+  ClipGradients(&small, 1.0);
+  EXPECT_DOUBLE_EQ(small[0][0], 0.1);
+}
+
+TEST(DpSgdTest, NonPrivateTrainingLearnsDeterministicMapping) {
+  // b is a deterministic function of a; a non-private run must learn it.
+  Schema schema = TestSchema();
+  Rng rng(6);
+  Table data(schema);
+  for (int i = 0; i < 300; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(0, 2));
+    data.AppendRowUnchecked({Value::Categorical(a), Value::Numeric(5),
+                             Value::Categorical(a == 0 ? 0 : 1)});
+  }
+  EncoderStore store(schema, 8, &rng);
+  DiscriminativeModel model(schema, {0, 1}, {2}, &store, &rng);
+  DpSgdOptions options;
+  options.noise_multiplier = 0.0;
+  options.iterations = 300;
+  options.batch_size = 16;
+  options.learning_rate = 0.3;
+  TrainDpSgd(&model, data, options, &rng);
+
+  Row r0 = {Value::Categorical(0), Value::Numeric(5), Value::Categorical(0)};
+  Row r1 = {Value::Categorical(2), Value::Numeric(5), Value::Categorical(0)};
+  EXPECT_GT(model.PredictCategorical(r0)[0], 0.7);
+  EXPECT_GT(model.PredictCategorical(r1)[1], 0.7);
+}
+
+TEST(DpSgdTest, NoisyTrainingStillRuns) {
+  Schema schema = TestSchema();
+  Rng rng(7);
+  Table data(schema);
+  for (int i = 0; i < 60; ++i) {
+    data.AppendRowUnchecked({Value::Categorical(0), Value::Numeric(1),
+                             Value::Categorical(0)});
+  }
+  EncoderStore store(schema, 4, &rng);
+  DiscriminativeModel model(schema, {0, 1}, {2}, &store, &rng);
+  DpSgdOptions options;
+  options.noise_multiplier = 1.1;
+  options.iterations = 20;
+  const double loss = TrainDpSgd(&model, data, options, &rng);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(DpSgdTest, EmptyDataIsHandled) {
+  Schema schema = TestSchema();
+  Rng rng(8);
+  EncoderStore store(schema, 4, &rng);
+  DiscriminativeModel model(schema, {0}, {2}, &store, &rng);
+  Table data(schema);
+  DpSgdOptions options;
+  EXPECT_DOUBLE_EQ(TrainDpSgd(&model, data, options, &rng), 0.0);
+}
+
+}  // namespace
+}  // namespace kamino

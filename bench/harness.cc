@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "kamino/baselines/dpvae.h"
 #include "kamino/baselines/nist_pgm.h"
@@ -147,6 +148,26 @@ MarginalSummary MarginalQuality(const Table& synthetic, const Table& truth,
   m.two_way_mean =
       MeanOf(TwoWayMarginalDistances(synthetic, truth, 16, 10, &rng));
   return m;
+}
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6f", r.seconds);
+    out << "  {\"method\": \"" << r.method << "\", \"rows\": " << r.rows
+        << ", \"threads\": " << r.threads << ", \"seconds\": " << seconds
+        << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
 }
 
 void PrintHeader(const std::string& title) {

@@ -71,6 +71,21 @@ MarginalSummary MarginalQuality(const Table& synthetic, const Table& truth,
 /// Prints a horizontal rule + centered title.
 void PrintHeader(const std::string& title);
 
+/// One machine-readable timing record for the perf trajectory.
+struct BenchRecord {
+  std::string method;
+  size_t rows = 0;
+  size_t threads = 1;
+  double seconds = 0.0;
+};
+
+/// Writes `records` as a JSON array of {"method", "rows", "threads",
+/// "seconds"} objects (bench_parallel_scaling writes BENCH_parallel.json
+/// with it), so future PRs can diff performance mechanically instead of
+/// scraping stdout.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
+
 }  // namespace kamino::bench
 
 #endif  // KAMINO_BENCH_HARNESS_H_

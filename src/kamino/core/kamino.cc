@@ -7,6 +7,7 @@
 #include "kamino/core/params.h"
 #include "kamino/core/sequencing.h"
 #include "kamino/core/weights.h"
+#include "kamino/runtime/thread_pool.h"
 
 namespace kamino {
 namespace {
@@ -36,9 +37,15 @@ Result<KaminoResult> RunKamino(
   if (data.num_rows() == 0) {
     return Status::InvalidArgument("input instance is empty");
   }
+  // Configure the parallel runtime for this run. Output is bit-identical
+  // at any budget (parallel regions key randomness by task index and
+  // reduce in fixed order), so the knob trades wall clock only.
+  runtime::SetGlobalNumThreads(config.options.num_threads);
+
   Rng rng(config.options.seed);
   KaminoResult result;
   PhaseTimer timer;
+  result.timings.num_threads = runtime::GlobalNumThreads();
 
   // Line 2: schema sequencing (Algorithm 4) - no privacy cost.
   result.sequence = config.options.random_sequence

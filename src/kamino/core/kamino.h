@@ -19,6 +19,10 @@ struct PhaseTimings {
   double training = 0.0;
   double violation_matrix = 0.0;  ///< violation matrix + weight learning
   double sampling = 0.0;
+  /// Thread budget the phases above ran with (resolved; >= 1). Compare
+  /// the same phase across runs at different budgets for the realized
+  /// per-phase speedup (bench_parallel_scaling automates this).
+  size_t num_threads = 1;
 
   double Total() const {
     return sequencing + parameter_search + training + violation_matrix +
@@ -69,6 +73,12 @@ struct KaminoConfig {
 /// (Algorithm 6), model training (Algorithm 2), weight learning
 /// (Algorithm 5, when requested and soft DCs are present) and
 /// constraint-aware sampling (Algorithm 3).
+///
+/// `options.num_threads` configures the process-wide parallel runtime
+/// (kamino/runtime/). Concurrent RunKamino calls are safe — an in-flight
+/// run keeps a reference to the pool it started on even if another run
+/// resizes the budget — but the budget itself is global: the last caller
+/// to set it wins for subsequently started parallel regions.
 Result<KaminoResult> RunKamino(const Table& data,
                                const std::vector<WeightedConstraint>& constraints,
                                const KaminoConfig& config);

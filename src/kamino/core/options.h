@@ -72,6 +72,14 @@ struct KaminoOptions {
   /// Maximum AR proposals per cell before keeping the last sample.
   size_t ar_max_tries = 300;
 
+  // --- Execution runtime ---
+  /// Worker threads for the parallel runtime (violation matrix, candidate
+  /// scoring, batched MCMC, per-example DP-SGD gradients). 0 means "use
+  /// hardware concurrency". Synthetic output is bit-identical for every
+  /// value: parallel regions draw randomness from per-task `RngStream`
+  /// sub-seeds and reduce in a fixed order, never from thread timing.
+  size_t num_threads = 0;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
 };

@@ -8,9 +8,23 @@
 #include "kamino/common/logging.h"
 #include "kamino/core/sequencing.h"
 #include "kamino/dc/violations.h"
+#include "kamino/runtime/parallel_for.h"
+#include "kamino/runtime/rng_stream.h"
+#include "kamino/runtime/thread_pool.h"
 
 namespace kamino {
 namespace {
+
+/// Rows re-sampled per parallel MCMC batch. Fixed (not thread-derived) so
+/// the batch boundaries — and thus which table snapshot each re-sample
+/// scores against — are identical at any `num_threads`.
+constexpr size_t kMcmcBatchRows = 32;
+
+/// Minimum candidates x committed-prefix product before candidate scoring
+/// is dispatched to the pool; below it the loop runs inline. Affects only
+/// scheduling: scores are RNG-free and land in per-candidate slots, so the
+/// choice never changes the output.
+constexpr size_t kMinParallelScoreWork = 4096;
 
 /// One joint assignment for a unit's attributes, with its model
 /// probability p_{v|c}.
@@ -31,8 +45,13 @@ double GaussianPdf(double x, double mu, double sigma) {
 std::vector<double> LogScoresToWeights(const std::vector<double>& log_scores) {
   double mx = -std::numeric_limits<double>::infinity();
   for (double s : log_scores) mx = std::max(mx, s);
+  if (!std::isfinite(mx)) {
+    // Every candidate collapsed to zero mass (all log-scores -inf, e.g.
+    // hard-DC penalties on every value): make the uniform fallback
+    // explicit instead of handing a zero-mass distribution to Rng.
+    return std::vector<double>(log_scores.size(), 1.0);
+  }
   std::vector<double> weights(log_scores.size(), 0.0);
-  if (!std::isfinite(mx)) return weights;
   for (size_t i = 0; i < log_scores.size(); ++i) {
     weights[i] = std::exp(log_scores[i] - mx);
   }
@@ -171,6 +190,52 @@ double FullTablePenalty(const Row& row, size_t self, const Table& table,
   return penalty;
 }
 
+/// Writes a candidate's values into a detached scratch row (the parallel
+/// scoring paths must not touch the shared table).
+void ApplyCandidateToRow(const ModelUnit& unit, const Candidate& candidate,
+                         Row* row) {
+  for (size_t i = 0; i < unit.attrs.size(); ++i) {
+    (*row)[unit.attrs[i]] = candidate.values[i];
+  }
+}
+
+/// Fills `log_scores` with log p_{v|c} - weighted-violation penalty for
+/// every candidate, scored against the committed prefix held by `indices`
+/// (Algorithm 3 line 10 in log space). Dispatches candidates to the pool
+/// when the candidate-set x prefix product is large; scoring draws no
+/// randomness and each candidate writes its own slot, so parallel and
+/// inline execution produce the same vector bit for bit. A failed chunk
+/// (the pool converts thrown exceptions to Status) fails the whole
+/// scoring — callers must not sample from a partially scored vector.
+Status ScoreCandidatesAgainstPrefix(
+    const ModelUnit& unit, const std::vector<Candidate>& candidates,
+    const Row& base_row, const std::vector<size_t>& active,
+    const std::vector<WeightedConstraint>& constraints,
+    const std::vector<std::unique_ptr<ViolationIndex>>& indices,
+    SynthesisTelemetry* telemetry, std::vector<double>* log_scores) {
+  log_scores->assign(candidates.size(), 0.0);
+  auto score_range = [&](size_t lo, size_t hi) {
+    Row scratch = base_row;
+    for (size_t c = lo; c < hi; ++c) {
+      ApplyCandidateToRow(unit, candidates[c], &scratch);
+      const double penalty =
+          ViolationPenalty(scratch, active, constraints, indices);
+      (*log_scores)[c] = std::log(candidates[c].prob + 1e-300) - penalty;
+    }
+    return Status::OK();
+  };
+  size_t prefix = 0;
+  for (size_t dc_index : active) prefix += indices[dc_index]->size();
+  if (runtime::GlobalNumThreads() > 1 &&
+      candidates.size() * std::max<size_t>(prefix, 1) >=
+          kMinParallelScoreWork) {
+    ++telemetry->parallel_score_dispatches;
+    const size_t grain = std::max<size_t>(1, candidates.size() / 16);
+    return runtime::ParallelFor(0, candidates.size(), grain, score_range);
+  }
+  return score_range(0, candidates.size());
+}
+
 /// True when the FD fast path may resolve this unit: single attribute and
 /// every active DC is a hard FD whose right-hand side is that attribute.
 bool FdFastPathApplies(const ModelUnit& unit, const std::vector<size_t>& active,
@@ -195,6 +260,7 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
                          SynthesisTelemetry* telemetry) {
   SynthesisTelemetry local_telemetry;
   if (telemetry == nullptr) telemetry = &local_telemetry;
+  telemetry->num_threads = runtime::GlobalNumThreads();
 
   const Schema& schema = model.schema();
   Table out(schema);
@@ -360,13 +426,12 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
         // Constraint-aware direct sampling (Algorithm 3 line 10):
         // P[v] proportional to p_{v|c} * exp(-sum w_phi * new_violations),
         // computed in log space so hard-DC penalties stay comparable.
-        std::vector<double> log_scores(candidates.size());
-        for (size_t c = 0; c < candidates.size(); ++c) {
-          ApplyCandidate(unit, candidates[c], &out, i);
-          const double penalty =
-              ViolationPenalty(out.row(i), active, constraints, indices);
-          log_scores[c] = std::log(candidates[c].prob + 1e-300) - penalty;
-        }
+        // Candidates are scored on scratch rows (in parallel when the set
+        // and prefix are large); only the winner touches the table.
+        std::vector<double> log_scores;
+        KAMINO_RETURN_IF_ERROR(ScoreCandidatesAgainstPrefix(
+            unit, candidates, out.row(i), active, constraints, indices,
+            telemetry, &log_scores));
         chosen = rng->Discrete(LogScoresToWeights(log_scores));
       }
 
@@ -389,29 +454,73 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
       }
     }
 
-    // Constrained MCMC (Algorithm 3 line 12): re-sample m random cells of
-    // this column group, conditioning on all other currently filled cells.
-    for (size_t r = 0; r < options.mcmc_resamples; ++r) {
-      const size_t i = static_cast<size_t>(
-          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
-      std::vector<double> extra_values;
-      if (track_prior_values) extra_values = nearest_y_values(out.row(i));
-      std::vector<Candidate> candidates = GenerateCandidates(
-          unit, schema, out.row(i), options, extra_values, rng);
-      if (candidates.empty()) continue;
-      std::vector<double> log_scores(candidates.size());
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        ApplyCandidate(unit, candidates[c], &out, i);
-        double penalty = 0.0;
-        if (use_dc_factor) {
-          penalty = FullTablePenalty(out.row(i), i, out, active, constraints);
+    // Constrained MCMC (Algorithm 3 line 12), row-batched: each batch
+    // freezes the table, re-scores its rows concurrently — every row on a
+    // scratch copy, drawing from its own RngStream sub-stream keyed by
+    // resample index — then applies the winners in batch order. Within a
+    // batch, re-samples condition on the pre-batch snapshot instead of on
+    // each other (the price of parallelism); across thread counts the
+    // output is bit-identical because randomness is keyed by index, never
+    // by thread or schedule.
+    if (options.mcmc_resamples > 0) {
+      const runtime::RngStream streams(rng->NextSeed());
+      struct Resample {
+        size_t row = 0;
+        std::vector<Value> values;  // winning candidate, aligned with attrs
+        bool accepted = false;
+      };
+      size_t done = 0;
+      while (done < options.mcmc_resamples) {
+        const size_t batch =
+            std::min(kMcmcBatchRows, options.mcmc_resamples - done);
+        std::vector<Resample> resamples(batch);
+        // Row picks come from the sequential run RNG, before the batch
+        // executes, so they are schedule-independent.
+        for (size_t k = 0; k < batch; ++k) {
+          resamples[k].row = static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(n) - 1));
         }
-        log_scores[c] = std::log(candidates[c].prob + 1e-300) - penalty;
+        KAMINO_RETURN_IF_ERROR(runtime::ParallelFor(
+            0, batch, 1, [&](size_t lo, size_t hi) {
+              for (size_t k = lo; k < hi; ++k) {
+                Rng task_rng(streams.SubSeed(done + k));
+                const size_t i = resamples[k].row;
+                Row scratch = out.row(i);
+                std::vector<double> extra_values;
+                if (track_prior_values) {
+                  extra_values = nearest_y_values(scratch);
+                }
+                std::vector<Candidate> candidates = GenerateCandidates(
+                    unit, schema, scratch, options, extra_values, &task_rng);
+                if (candidates.empty()) continue;
+                std::vector<double> log_scores(candidates.size());
+                for (size_t c = 0; c < candidates.size(); ++c) {
+                  ApplyCandidateToRow(unit, candidates[c], &scratch);
+                  double penalty = 0.0;
+                  if (use_dc_factor) {
+                    penalty =
+                        FullTablePenalty(scratch, i, out, active, constraints);
+                  }
+                  log_scores[c] =
+                      std::log(candidates[c].prob + 1e-300) - penalty;
+                }
+                const size_t pick =
+                    task_rng.Discrete(LogScoresToWeights(log_scores));
+                resamples[k].values = std::move(candidates[pick].values);
+                resamples[k].accepted = true;
+              }
+              return Status::OK();
+            }));
+        for (Resample& r : resamples) {
+          if (!r.accepted) continue;
+          for (size_t a = 0; a < unit.attrs.size(); ++a) {
+            out.set(r.row, unit.attrs[a], r.values[a]);
+          }
+          ++telemetry->mcmc_resamples;
+        }
+        ++telemetry->mcmc_batches;
+        done += batch;
       }
-      ApplyCandidate(
-          unit, candidates[rng->Discrete(LogScoresToWeights(log_scores))],
-          &out, i);
-      ++telemetry->mcmc_resamples;
     }
   }
   return out;

@@ -20,6 +20,13 @@ struct SynthesisTelemetry {
   int64_t fd_fast_path_hits = 0;
   /// Cells re-sampled by the constrained MCMC pass.
   int64_t mcmc_resamples = 0;
+  /// Thread budget the run executed with (resolved; >= 1).
+  size_t num_threads = 1;
+  /// Candidate-set scorings dispatched through the parallel runtime (the
+  /// rest ran inline because the set or the committed prefix was small).
+  int64_t parallel_score_dispatches = 0;
+  /// Row batches executed by the parallel MCMC pass.
+  int64_t mcmc_batches = 0;
 };
 
 /// Algorithm 3: constraint-aware database instance sampling.

@@ -1,11 +1,19 @@
 #include "kamino/dc/violations.h"
 
+#include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "kamino/common/logging.h"
+#include "kamino/runtime/parallel_for.h"
 
 namespace kamino {
 namespace {
+
+/// Rows per ParallelFor chunk for the pair scans. Fixed (not derived from
+/// the thread count) so chunk boundaries — and therefore the partial
+/// buffers merged below — are identical at any `num_threads`.
+constexpr size_t kPairScanGrain = 64;
 
 /// Hash key for the left-hand-side attribute values of an FD group.
 struct FdKey {
@@ -169,19 +177,31 @@ class NaiveViolationIndex : public ViolationIndex {
 
 int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
   const size_t n = table.num_rows();
-  int64_t count = 0;
   if (dc.is_unary()) {
+    int64_t count = 0;
     for (size_t i = 0; i < n; ++i) {
       if (dc.ViolatesUnary(table.row(i))) ++count;
     }
     return count;
   }
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      if (dc.ViolatesPair(table.row(i), table.row(j))) ++count;
+  // Chunk the outer row of the i < j pair scan; per-chunk counts merge
+  // exactly (integer sums), so the total is thread-count independent.
+  const size_t num_chunks = n == 0 ? 0 : (n + kPairScanGrain - 1) / kPairScanGrain;
+  std::vector<int64_t> partial(num_chunks, 0);
+  runtime::ParallelForEach(0, num_chunks, 1, [&](size_t k) {
+    const size_t lo = k * kPairScanGrain;
+    const size_t hi = std::min(n, lo + kPairScanGrain);
+    int64_t count = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (dc.ViolatesPair(table.row(i), table.row(j))) ++count;
+      }
     }
-  }
-  return count;
+    partial[k] = count;
+  });
+  int64_t total = 0;
+  for (int64_t c : partial) total += c;
+  return total;
 }
 
 int64_t CountViolations(const DenialConstraint& dc, const Table& table) {
@@ -221,19 +241,39 @@ std::vector<std::vector<double>> BuildViolationMatrix(
   for (size_t l = 0; l < constraints.size(); ++l) {
     const DenialConstraint& dc = constraints[l].dc;
     if (dc.is_unary()) {
-      for (size_t i = 0; i < n; ++i) {
+      runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
         matrix[i][l] = dc.ViolatesUnary(table.row(i)) ? 1.0 : 0.0;
-      }
+      });
       continue;
     }
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        if (dc.ViolatesPair(table.row(i), table.row(j))) {
-          matrix[i][l] += 1.0;
-          matrix[j][l] += 1.0;
+    // Each chunk of outer rows scans its i < j pairs into a private column
+    // so rows i and j of a violating pair never race, then folds it into
+    // the matrix under a lock and frees it — live memory stays bounded by
+    // the executor count, not the chunk count. The fold adds exact
+    // integers (commutative in doubles), so the matrix is bit-identical
+    // at any thread count and merge order. (Chunks shrink in cost as i
+    // grows; the grain keeps them numerous enough for the pool to
+    // balance.)
+    const size_t num_chunks =
+        n == 0 ? 0 : (n + kPairScanGrain - 1) / kPairScanGrain;
+    std::mutex merge_mu;
+    runtime::ParallelForEach(0, num_chunks, 1, [&](size_t k) {
+      const size_t lo = k * kPairScanGrain;
+      const size_t hi = std::min(n, lo + kPairScanGrain);
+      std::vector<double> column(n, 0.0);
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          if (dc.ViolatesPair(table.row(i), table.row(j))) {
+            column[i] += 1.0;
+            column[j] += 1.0;
+          }
         }
       }
-    }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      for (size_t i = 0; i < n; ++i) {
+        if (column[i] != 0.0) matrix[i][l] += column[i];
+      }
+    });
   }
   return matrix;
 }

@@ -35,6 +35,10 @@ int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
 /// The |D| x |Phi| violation matrix of Algorithm 5: entry (i, l) is the
 /// number of violations of DC l caused by tuple i with respect to all other
 /// tuples of `table`.
+///
+/// The pair scans run on the global runtime pool (kamino/runtime/):
+/// chunk-private partial columns merge in fixed order with exact integer
+/// sums, so the matrix is bit-identical at any thread count.
 std::vector<std::vector<double>> BuildViolationMatrix(
     const Table& table, const std::vector<WeightedConstraint>& constraints);
 

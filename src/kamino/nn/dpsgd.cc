@@ -1,8 +1,10 @@
 #include "kamino/nn/dpsgd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "kamino/autograd/ops.h"
+#include "kamino/runtime/parallel_for.h"
 
 namespace kamino {
 
@@ -26,23 +28,44 @@ double TrainDpSgd(DiscriminativeModel* model, const Table& data,
   double last_loss = 0.0;
 
   for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // Poisson subsampling: the inclusion draws stay on the sequential run
+    // RNG (same draw order as a serial loop), producing the batch up
+    // front so the per-example work below can fan out.
+    std::vector<size_t> batch;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng->Bernoulli(sample_prob)) batch.push_back(i);
+    }
+
+    // Per-example forward/backward/clip is RNG-free and touches only the
+    // example's private graph and gradient slot — parameters are read,
+    // never written, until the update below — so examples parallelize
+    // freely. Waves of kWaveExamples bound peak memory to a constant
+    // number of per-example gradient sets (not one per batch member),
+    // and the slot-ordered reduction inside each wave keeps the
+    // floating-point summation in example order — the trained model is
+    // bit-identical at any thread count, and to a serial loop.
+    constexpr size_t kWaveExamples = 32;
     std::vector<Tensor> grad_sum = ZeroGradients(params);
     double loss_sum = 0.0;
-    size_t batch_count = 0;
-
-    for (size_t i = 0; i < n; ++i) {
-      if (!rng->Bernoulli(sample_prob)) continue;
-      ++batch_count;
-      ForwardContext ctx;
-      Var loss = model->Loss(data.row(i), &ctx);
-      Backward(loss);
-      loss_sum += loss->value[0];
-
-      std::vector<Tensor> example_grads = ZeroGradients(params);
-      ctx.AccumulateInto(params, &example_grads);
-      ClipGradients(&example_grads, options.clip_norm);
-      for (size_t p = 0; p < params.size(); ++p) {
-        grad_sum[p].Add(example_grads[p]);
+    for (size_t wave = 0; wave < batch.size(); wave += kWaveExamples) {
+      const size_t wave_end = std::min(batch.size(), wave + kWaveExamples);
+      std::vector<std::vector<Tensor>> example_grads(wave_end - wave);
+      std::vector<double> example_loss(wave_end - wave, 0.0);
+      runtime::ParallelForEach(wave, wave_end, 1, [&](size_t k) {
+        const size_t slot = k - wave;
+        ForwardContext ctx;
+        Var loss = model->Loss(data.row(batch[k]), &ctx);
+        Backward(loss);
+        example_loss[slot] = loss->value[0];
+        example_grads[slot] = ZeroGradients(params);
+        ctx.AccumulateInto(params, &example_grads[slot]);
+        ClipGradients(&example_grads[slot], options.clip_norm);
+      });
+      for (size_t slot = 0; slot < example_grads.size(); ++slot) {
+        loss_sum += example_loss[slot];
+        for (size_t p = 0; p < params.size(); ++p) {
+          grad_sum[p].Add(example_grads[slot][p]);
+        }
       }
     }
 
@@ -59,7 +82,9 @@ double TrainDpSgd(DiscriminativeModel* model, const Table& data,
     for (size_t p = 0; p < params.size(); ++p) {
       params[p]->value.Axpy(-options.learning_rate / denom, grad_sum[p]);
     }
-    last_loss = batch_count > 0 ? loss_sum / batch_count : last_loss;
+    last_loss =
+        !batch.empty() ? loss_sum / static_cast<double>(batch.size())
+                       : last_loss;
   }
   return last_loss;
 }

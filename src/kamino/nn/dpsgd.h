@@ -34,6 +34,12 @@ struct DpSgdOptions {
 /// `noise_multiplier * clip_norm`, averages by the *expected* batch size
 /// and takes an SGD step.
 ///
+/// Per-example gradients are computed in parallel on the global runtime
+/// pool (see kamino/runtime/): the Poisson inclusion draws and the noise
+/// stay on the sequential `rng`, and the clipped gradients reduce in
+/// example order, so the trained model is bit-identical at any thread
+/// count — and to the original serial implementation.
+///
 /// Returns the average (unnoised) training loss of the final iteration,
 /// for diagnostics only — callers must not release it.
 double TrainDpSgd(DiscriminativeModel* model, const Table& data,

@@ -1,0 +1,127 @@
+#include "kamino/runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "kamino/runtime/thread_pool.h"
+
+namespace kamino {
+namespace runtime {
+namespace {
+
+Status RunChunkGuarded(const ChunkFn& fn, size_t begin, size_t end) {
+  try {
+    return fn(begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+/// State shared between the caller and the pool runners of one loop.
+struct LoopState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const ChunkFn* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t active_runners = 0;
+  // Error of the failing chunk with the smallest index (serial-order
+  // first failure), so the reported Status does not depend on timing.
+  size_t error_chunk = SIZE_MAX;
+  Status error;
+
+  /// Claims and executes chunks until the range (or an error) exhausts it.
+  void Drain() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const size_t k = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_chunks) return;
+      const size_t lo = begin + k * grain;
+      const size_t hi = std::min(end, lo + grain);
+      Status st = RunChunkGuarded(*fn, lo, hi);
+      if (!st.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (k < error_chunk) {
+          error_chunk = k;
+          error = std::move(st);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(size_t begin, size_t end, size_t grain, const ChunkFn& fn) {
+  if (end <= begin) return Status::OK();
+  grain = std::max<size_t>(1, grain);
+  const size_t range = end - begin;
+  const size_t num_chunks = (range + grain - 1) / grain;
+  const size_t budget = GlobalNumThreads();
+
+  if (budget <= 1 || num_chunks == 1 || ThreadPool::InWorkerThread()) {
+    for (size_t k = 0; k < num_chunks; ++k) {
+      const size_t lo = begin + k * grain;
+      const size_t hi = std::min(end, lo + grain);
+      KAMINO_RETURN_IF_ERROR(RunChunkGuarded(fn, lo, hi));
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  // The caller participates, so at most num_chunks - 1 pool runners are
+  // useful; each runner pulls chunks until the shared counter runs dry.
+  const size_t runners = std::min(budget, num_chunks - 1);
+  state->active_runners = runners;
+  // The shared_ptr keeps the pool alive even if SetGlobalNumThreads
+  // swaps the global reference mid-loop.
+  std::shared_ptr<ThreadPool> pool = GlobalThreadPool();
+  for (size_t r = 0; r < runners; ++r) {
+    pool->Submit([state] {
+      state->Drain();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active_runners == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->Drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->active_runners == 0; });
+    return state->error_chunk == SIZE_MAX ? Status::OK()
+                                          : std::move(state->error);
+  }
+}
+
+void ParallelForEach(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t)>& fn) {
+  // The body is infallible, so the loop's Status is always OK.
+  (void)ParallelFor(begin, end, grain, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+    return Status::OK();
+  });
+}
+
+}  // namespace runtime
+}  // namespace kamino

@@ -1,0 +1,47 @@
+#ifndef KAMINO_RUNTIME_PARALLEL_FOR_H_
+#define KAMINO_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "kamino/common/status.h"
+
+namespace kamino {
+namespace runtime {
+
+/// The body of one `ParallelFor` chunk: processes indices [begin, end).
+/// Returning a non-OK Status cancels the remaining (unstarted) chunks.
+using ChunkFn = std::function<Status(size_t begin, size_t end)>;
+
+/// Runs `fn` over [begin, end) in chunks of at most `grain` indices,
+/// distributed across the global thread pool. Blocks until every started
+/// chunk completes.
+///
+/// Guarantees:
+///  - Chunk boundaries depend only on (begin, end, grain) — never on the
+///    thread count — so a body whose chunks write disjoint outputs (and
+///    whose per-index work is RNG-free or keyed by index, see `RngStream`)
+///    produces bit-identical results at any `num_threads`.
+///  - Status propagation: if one or more chunks fail, the error of the
+///    failing chunk with the smallest begin index is returned (the same
+///    error a serial loop would surface first). Later unstarted chunks are
+///    skipped.
+///  - Exception propagation: a body that throws is caught at the chunk
+///    boundary and reported as `StatusCode::kInternal` (the library is
+///    otherwise exception-free).
+///  - Runs inline (no pool, no locks) when the budget is one thread, the
+///    range fits in one chunk, or the caller is itself a pool worker
+///    (nested regions never deadlock).
+///
+/// `grain` is clamped to at least 1. An empty range returns OK without
+/// invoking `fn`.
+Status ParallelFor(size_t begin, size_t end, size_t grain, const ChunkFn& fn);
+
+/// Convenience wrapper for infallible per-index bodies.
+void ParallelForEach(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t index)>& fn);
+
+}  // namespace runtime
+}  // namespace kamino
+
+#endif  // KAMINO_RUNTIME_PARALLEL_FOR_H_

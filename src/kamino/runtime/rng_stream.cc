@@ -1,0 +1,22 @@
+#include "kamino/runtime/rng_stream.h"
+
+namespace kamino {
+namespace runtime {
+
+uint64_t RngStream::Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t RngStream::SubSeed(uint64_t stream_id) const {
+  // Weyl-sequence step by the golden gamma, then finalize; stream_id + 1
+  // keeps SubSeed(0) distinct from the root itself.
+  return Mix(root_ + (stream_id + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace runtime
+}  // namespace kamino

@@ -1,0 +1,49 @@
+#ifndef KAMINO_RUNTIME_RNG_STREAM_H_
+#define KAMINO_RUNTIME_RNG_STREAM_H_
+
+#include <cstdint>
+
+namespace kamino {
+namespace runtime {
+
+/// Splits one root seed into per-task deterministic sub-seeds.
+///
+/// Parallel regions must not share a mutable `Rng`: the interleaving of
+/// draws would depend on scheduling and the output on the thread count.
+/// Instead the owner of the region draws ONE seed from the sequential run
+/// RNG, wraps it in an `RngStream`, and every task `i` constructs its own
+/// `Rng(stream.SubSeed(i))`. Task `i` then sees the same draw sequence no
+/// matter which thread runs it or in what order, so results are
+/// bit-identical at any `num_threads`.
+///
+/// Sub-seeds are produced by the SplitMix64 finalizer over
+/// `root + (i + 1) * golden_gamma` — the standard seed-sequence
+/// construction (cheap, stateless, and avalanche-complete, so streams for
+/// adjacent indices are uncorrelated even though mt19937_64 seeding is
+/// not cryptographic).
+class RngStream {
+ public:
+  explicit RngStream(uint64_t root_seed) : root_(root_seed) {}
+
+  /// Deterministic seed for task `stream_id`.
+  uint64_t SubSeed(uint64_t stream_id) const;
+
+  /// A child stream rooted at `SubSeed(stream_id)`, for hierarchical
+  /// splitting (e.g. per-unit, then per-row).
+  RngStream Fork(uint64_t stream_id) const {
+    return RngStream(SubSeed(stream_id));
+  }
+
+  uint64_t root() const { return root_; }
+
+  /// The SplitMix64 finalizer (exposed for tests and ad-hoc mixing).
+  static uint64_t Mix(uint64_t x);
+
+ private:
+  uint64_t root_;
+};
+
+}  // namespace runtime
+}  // namespace kamino
+
+#endif  // KAMINO_RUNTIME_RNG_STREAM_H_

@@ -1,0 +1,96 @@
+#include "kamino/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace kamino {
+namespace runtime {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+size_t ResolveNumThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+size_t g_requested_threads = 0;  // 0 = hardware concurrency
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void SetGlobalNumThreads(size_t num_threads) {
+  std::shared_ptr<ThreadPool> doomed;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_requested_threads = num_threads;
+    if (g_pool != nullptr &&
+        g_pool->num_threads() != ResolveNumThreads(num_threads)) {
+      doomed = std::move(g_pool);
+    }
+  }
+  // The old pool is destroyed outside the lock, and only once the last
+  // in-flight ParallelFor drops its shared reference — a concurrent loop
+  // that grabbed the pool before the resize finishes safely on it.
+}
+
+size_t GlobalNumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return ResolveNumThreads(g_requested_threads);
+}
+
+std::shared_ptr<ThreadPool> GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    g_pool = std::make_shared<ThreadPool>(ResolveNumThreads(g_requested_threads));
+  }
+  return g_pool;
+}
+
+}  // namespace runtime
+}  // namespace kamino

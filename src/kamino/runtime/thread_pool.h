@@ -1,0 +1,74 @@
+#ifndef KAMINO_RUNTIME_THREAD_POOL_H_
+#define KAMINO_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kamino {
+namespace runtime {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// This is the execution substrate for `ParallelFor`: the pool is created
+/// lazily on first use (single-threaded runs never spawn a thread) and
+/// sized by the `num_threads` knob of `KaminoOptions`. Tasks must not
+/// block on other pool tasks; `ParallelFor` guards against the one nested
+/// case the library produces by running nested loops inline.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on some worker. `fn` must not throw out
+  /// of the task (wrap fallible work; `ParallelFor` does).
+  void Submit(std::function<void()> fn);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool). Used to run nested parallel regions inline instead of
+  /// deadlocking on a saturated queue.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Sets the process-wide thread budget for the global pool: 0 means "use
+/// hardware concurrency". Takes effect on the next `GlobalThreadPool()`
+/// call; an existing pool of a different size is detached and destroyed
+/// once the last in-flight `ParallelFor` releases its reference, so
+/// resizing under concurrent loops is safe (they finish on the old pool).
+void SetGlobalNumThreads(size_t num_threads);
+
+/// The thread budget `ParallelFor` plans for: the value set through
+/// `SetGlobalNumThreads` with 0 resolved to hardware concurrency.
+size_t GlobalNumThreads();
+
+/// The lazily-created process-wide pool, sized per `SetGlobalNumThreads`.
+/// Never returns null; callers keep the shared_ptr for as long as they
+/// submit to the pool.
+std::shared_ptr<ThreadPool> GlobalThreadPool();
+
+}  // namespace runtime
+}  // namespace kamino
+
+#endif  // KAMINO_RUNTIME_THREAD_POOL_H_

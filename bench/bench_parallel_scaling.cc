@@ -126,10 +126,46 @@ int Main() {
   }
   std::printf("\nsynthetic output across thread counts: %s\n",
               deterministic ? "IDENTICAL (bit-exact)" : "MISMATCH");
+
+  // --- Hot path 4: shard-parallel synthesis (shard-count sweep). ---
+  // Each shard count is its own output contract — (seed, num_shards)
+  // determines the instance — so the sweep reports per-configuration
+  // sampling time plus the cross-thread-count determinism check at every
+  // shard count.
+  std::printf("\n%-28s %8s %12s %12s\n", "method", "shards", "seconds",
+              "merge-sec");
+  bool shards_deterministic = true;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Table reference;
+    for (size_t t : {size_t{1}, size_t{4}}) {
+      KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
+      config.options.num_threads = t;
+      config.options.num_shards = shards;
+      config.options.mcmc_resamples = 64;
+      auto result = RunKamino(ds.table, constraints, config);
+      KAMINO_CHECK(result.ok()) << result.status();
+      if (t == 1) {
+        reference = result.value().synthetic;
+      } else if (!SameTable(reference, result.value().synthetic)) {
+        shards_deterministic = false;
+      }
+      const PhaseTimings& ph = result.value().timings;
+      records.push_back({"sampling_shards" + std::to_string(shards), rows, t,
+                         ph.sampling});
+      records.push_back({"shard_merge_shards" + std::to_string(shards), rows,
+                         t, ph.shard_merge});
+      if (t == 4) {
+        std::printf("%-28s %8zu %12.4f %12.4f\n", "sampling_shards", shards,
+                    ph.sampling, ph.shard_merge);
+      }
+    }
+  }
+  std::printf("\nsharded output across thread counts: %s\n",
+              shards_deterministic ? "IDENTICAL (bit-exact)" : "MISMATCH");
   runtime::SetGlobalNumThreads(0);
 
   WriteBenchJson("BENCH_parallel.json", records);
-  return deterministic ? 0 : 1;
+  return deterministic && shards_deterministic ? 0 : 1;
 }
 
 }  // namespace

@@ -105,6 +105,8 @@ Result<KaminoResult> RunKamino(
       result.synthetic,
       Synthesize(model, weighted, n, options, &rng, &result.telemetry));
   result.timings.sampling = timer.Lap();
+  result.timings.shard_merge = result.telemetry.merge_seconds;
+  result.timings.num_shards = result.telemetry.num_shards;
 
   result.epsilon_spent =
       options.non_private

@@ -19,12 +19,20 @@ struct PhaseTimings {
   double training = 0.0;
   double violation_matrix = 0.0;  ///< violation matrix + weight learning
   double sampling = 0.0;
+  /// Seconds of the shard-merge reconciliation pass. A sub-phase of
+  /// `sampling` (already counted there), surfaced separately so the merge
+  /// overhead of shard-parallel synthesis is visible; 0 when the run used
+  /// a single shard.
+  double shard_merge = 0.0;
   /// Thread budget the phases above ran with (resolved; >= 1). Compare
   /// the same phase across runs at different budgets for the realized
   /// per-phase speedup (bench_parallel_scaling automates this).
   size_t num_threads = 1;
+  /// Shards the sampling phase was partitioned into (resolved; >= 1).
+  size_t num_shards = 1;
 
   double Total() const {
+    // shard_merge is inside sampling; do not double-count it.
     return sequencing + parameter_search + training + violation_matrix +
            sampling;
   }
@@ -79,6 +87,13 @@ struct KaminoConfig {
 /// run keeps a reference to the pool it started on even if another run
 /// resizes the budget — but the budget itself is global: the last caller
 /// to set it wins for subsequently started parallel regions.
+///
+/// `options.num_shards` partitions the sampling phase into shard-parallel
+/// slices (see core/sampler.h). The synthetic instance is a pure function
+/// of (options.seed, resolved num_shards); at a fixed shard count
+/// `num_threads` only changes wall clock (num_shards = 0 derives the
+/// shard count from the thread budget, so there the resolved worker count
+/// picks the output contract).
 Result<KaminoResult> RunKamino(const Table& data,
                                const std::vector<WeightedConstraint>& constraints,
                                const KaminoConfig& config);

@@ -1,10 +1,9 @@
 #include "kamino/core/model.h"
 
-#include <thread>
-
 #include "kamino/common/logging.h"
 #include "kamino/dp/gaussian.h"
 #include "kamino/nn/dpsgd.h"
+#include "kamino/runtime/parallel_for.h"
 
 namespace kamino {
 
@@ -180,20 +179,27 @@ Result<ProbabilisticDataModel> ProbabilisticDataModel::Train(
     }
   } else {
     // Section 7.3.6: train sub-models in parallel with private, freshly
-    // initialized encoder stores (no embedding reuse).
-    std::vector<std::thread> workers;
+    // initialized encoder stores (no embedding reuse). Seeds and stores
+    // are drawn sequentially in unit order first, then whole units are
+    // dispatched onto the runtime pool (one task per unit) — each task
+    // trains from its own seed, so the learned model is identical at any
+    // thread count and matches the former thread-per-unit dispatch.
+    std::vector<ModelUnit*> discriminative;
+    std::vector<uint64_t> seeds;
     for (ModelUnit& unit : model.units_) {
       if (unit.kind != ModelUnit::Kind::kDiscriminative) continue;
       const uint64_t seed = rng->NextSeed();
       Rng init_rng(seed);
       unit.private_store = std::make_unique<EncoderStore>(
           data.schema(), options.embed_dim, &init_rng);
-      workers.emplace_back([&data, &options, &unit, seed] {
-        TrainDiscriminativeUnit(data, data.schema(), options,
-                                unit.private_store.get(), &unit, seed ^ 0x9e3779b9);
-      });
+      discriminative.push_back(&unit);
+      seeds.push_back(seed);
     }
-    for (std::thread& t : workers) t.join();
+    runtime::ParallelForEach(0, discriminative.size(), 1, [&](size_t u) {
+      TrainDiscriminativeUnit(data, data.schema(), options,
+                              discriminative[u]->private_store.get(),
+                              discriminative[u], seeds[u] ^ 0x9e3779b9);
+    });
   }
   return model;
 }

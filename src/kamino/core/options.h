@@ -80,6 +80,24 @@ struct KaminoOptions {
   /// sub-seeds and reduce in a fixed order, never from thread timing.
   size_t num_threads = 0;
 
+  /// Shards for shard-parallel synthesis (core/sampler.cc): the output rows
+  /// are partitioned into `num_shards` contiguous shards, each sampled
+  /// concurrently from its own `RngStream` sub-seed with its own per-shard
+  /// violation indices, then merged with a bounded reconciliation pass
+  /// that repairs cross-shard DC conflicts. 1 = exact sequential paper
+  /// semantics (the default); 0 = one shard per worker thread. Synthetic
+  /// output is a pure function of (seed, resolved num_shards): changing
+  /// `num_threads` never changes it, changing the shard count does. Note
+  /// that 0 resolves the shard count *from* the thread budget, so for
+  /// machine-independent output pick an explicit shard count.
+  size_t num_shards = 1;
+
+  /// Re-sample budget of the shard-merge reconciliation pass: at most this
+  /// many rows with remaining cross-shard violations are re-scored (and
+  /// possibly re-valued) against the merged instance. Hard FDs are always
+  /// canonicalized exactly afterwards, regardless of the budget.
+  size_t shard_merge_resamples = 64;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
 };

@@ -1,9 +1,12 @@
 #include "kamino/core/sampler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 
 #include "kamino/common/logging.h"
 #include "kamino/core/sequencing.h"
@@ -212,7 +215,8 @@ Status ScoreCandidatesAgainstPrefix(
     const Row& base_row, const std::vector<size_t>& active,
     const std::vector<WeightedConstraint>& constraints,
     const std::vector<std::unique_ptr<ViolationIndex>>& indices,
-    SynthesisTelemetry* telemetry, std::vector<double>* log_scores) {
+    bool allow_nested_parallel, SynthesisTelemetry* telemetry,
+    std::vector<double>* log_scores) {
   log_scores->assign(candidates.size(), 0.0);
   auto score_range = [&](size_t lo, size_t hi) {
     Row scratch = base_row;
@@ -226,7 +230,7 @@ Status ScoreCandidatesAgainstPrefix(
   };
   size_t prefix = 0;
   for (size_t dc_index : active) prefix += indices[dc_index]->size();
-  if (runtime::GlobalNumThreads() > 1 &&
+  if (allow_nested_parallel && runtime::GlobalNumThreads() > 1 &&
       candidates.size() * std::max<size_t>(prefix, 1) >=
           kMinParallelScoreWork) {
     ++telemetry->parallel_score_dispatches;
@@ -252,31 +256,64 @@ bool FdFastPathApplies(const ModelUnit& unit, const std::vector<size_t>& active,
   return true;
 }
 
-}  // namespace
+/// Maps every DC to the model unit at which it activates (the unit whose
+/// attributes complete it) and every unit to its active DC set Phi_{A_j}.
+/// Computed once per run; the per-shard sampling loop and the merge pass
+/// must agree on this mapping.
+struct ActivationMap {
+  std::vector<std::vector<size_t>> unit_active;  // unit -> active DC indices
+  std::vector<size_t> dc_unit;                   // DC -> unit (or SIZE_MAX)
+};
 
-Result<Table> Synthesize(const ProbabilisticDataModel& model,
-                         const std::vector<WeightedConstraint>& constraints,
-                         size_t n, const KaminoOptions& options, Rng* rng,
-                         SynthesisTelemetry* telemetry) {
-  SynthesisTelemetry local_telemetry;
-  if (telemetry == nullptr) telemetry = &local_telemetry;
-  telemetry->num_threads = runtime::GlobalNumThreads();
-
-  const Schema& schema = model.schema();
-  Table out(schema);
-  out.ResizeRows(n);
-
-  std::vector<std::vector<size_t>> active_by_pos =
+ActivationMap BuildActivationMap(
+    const ProbabilisticDataModel& model,
+    const std::vector<WeightedConstraint>& constraints) {
+  ActivationMap map;
+  const std::vector<std::vector<size_t>> active_by_pos =
       ActivationPositions(model.sequence(), constraints);
-  std::vector<std::unique_ptr<ViolationIndex>> indices(constraints.size());
-
-  for (const ModelUnit& unit : model.units()) {
-    // Phi_{A_j}: the DCs whose attributes complete within this unit.
-    std::vector<size_t> active;
+  map.unit_active.resize(model.units().size());
+  map.dc_unit.assign(constraints.size(), SIZE_MAX);
+  for (size_t u = 0; u < model.units().size(); ++u) {
+    const ModelUnit& unit = model.units()[u];
     for (size_t p = unit.start_position;
          p < unit.start_position + unit.attrs.size(); ++p) {
-      for (size_t dc_index : active_by_pos[p]) active.push_back(dc_index);
+      for (size_t dc_index : active_by_pos[p]) {
+        map.unit_active[u].push_back(dc_index);
+        map.dc_unit[dc_index] = u;
+      }
     }
+  }
+  return map;
+}
+
+/// The per-shard sampling loop: the sequential Algorithm 3 body over
+/// `n` rows, writing into `out` (resized here) and leaving the final
+/// per-DC violation indices in `indices` for the shard merge. With
+/// `allow_nested_parallel` the candidate scoring and MCMC batches may fan
+/// out onto the pool (the single-shard configuration); shard-parallel
+/// callers pass false so each shard stays a serial unit of work and the
+/// pool is fed whole shards instead. `mcmc_resamples` is this shard's
+/// slice of the run-wide `options.mcmc_resamples` budget, so total MCMC
+/// work stays the same at every shard count.
+Status SampleShardRows(const ProbabilisticDataModel& model,
+                       const std::vector<WeightedConstraint>& constraints,
+                       const ActivationMap& activation, size_t n,
+                       const KaminoOptions& options, size_t mcmc_resamples,
+                       bool allow_nested_parallel, Rng* rng,
+                       SynthesisTelemetry* telemetry, Table* out_table,
+                       std::vector<std::unique_ptr<ViolationIndex>>* indices_out) {
+  const Schema& schema = model.schema();
+  Table& out = *out_table;
+  out.ResizeRows(n);
+
+  std::vector<std::unique_ptr<ViolationIndex>>& indices = *indices_out;
+  indices.clear();
+  indices.resize(constraints.size());
+
+  for (size_t unit_index = 0; unit_index < model.units().size(); ++unit_index) {
+    const ModelUnit& unit = model.units()[unit_index];
+    // Phi_{A_j}: the DCs whose attributes complete within this unit.
+    const std::vector<size_t>& active = activation.unit_active[unit_index];
     const bool use_dc_factor =
         options.constraint_aware_sampling && !active.empty();
     if (use_dc_factor) {
@@ -431,7 +468,7 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
         std::vector<double> log_scores;
         KAMINO_RETURN_IF_ERROR(ScoreCandidatesAgainstPrefix(
             unit, candidates, out.row(i), active, constraints, indices,
-            telemetry, &log_scores));
+            allow_nested_parallel, telemetry, &log_scores));
         chosen = rng->Discrete(LogScoresToWeights(log_scores));
       }
 
@@ -461,8 +498,10 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
     // batch, re-samples condition on the pre-batch snapshot instead of on
     // each other (the price of parallelism); across thread counts the
     // output is bit-identical because randomness is keyed by index, never
-    // by thread or schedule.
-    if (options.mcmc_resamples > 0) {
+    // by thread or schedule. In shard-parallel mode the batch runs inline
+    // (the shard itself is the unit of parallelism) — same result, since
+    // randomness is keyed by resample index either way.
+    if (mcmc_resamples > 0) {
       const runtime::RngStream streams(rng->NextSeed());
       struct Resample {
         size_t row = 0;
@@ -470,9 +509,8 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
         bool accepted = false;
       };
       size_t done = 0;
-      while (done < options.mcmc_resamples) {
-        const size_t batch =
-            std::min(kMcmcBatchRows, options.mcmc_resamples - done);
+      while (done < mcmc_resamples) {
+        const size_t batch = std::min(kMcmcBatchRows, mcmc_resamples - done);
         std::vector<Resample> resamples(batch);
         // Row picks come from the sequential run RNG, before the batch
         // executes, so they are schedule-independent.
@@ -480,37 +518,42 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
           resamples[k].row = static_cast<size_t>(
               rng->UniformInt(0, static_cast<int64_t>(n) - 1));
         }
-        KAMINO_RETURN_IF_ERROR(runtime::ParallelFor(
-            0, batch, 1, [&](size_t lo, size_t hi) {
-              for (size_t k = lo; k < hi; ++k) {
-                Rng task_rng(streams.SubSeed(done + k));
-                const size_t i = resamples[k].row;
-                Row scratch = out.row(i);
-                std::vector<double> extra_values;
-                if (track_prior_values) {
-                  extra_values = nearest_y_values(scratch);
-                }
-                std::vector<Candidate> candidates = GenerateCandidates(
-                    unit, schema, scratch, options, extra_values, &task_rng);
-                if (candidates.empty()) continue;
-                std::vector<double> log_scores(candidates.size());
-                for (size_t c = 0; c < candidates.size(); ++c) {
-                  ApplyCandidateToRow(unit, candidates[c], &scratch);
-                  double penalty = 0.0;
-                  if (use_dc_factor) {
-                    penalty =
-                        FullTablePenalty(scratch, i, out, active, constraints);
-                  }
-                  log_scores[c] =
-                      std::log(candidates[c].prob + 1e-300) - penalty;
-                }
-                const size_t pick =
-                    task_rng.Discrete(LogScoresToWeights(log_scores));
-                resamples[k].values = std::move(candidates[pick].values);
-                resamples[k].accepted = true;
+        auto resample_range = [&](size_t lo, size_t hi) {
+          for (size_t k = lo; k < hi; ++k) {
+            Rng task_rng(streams.SubSeed(done + k));
+            const size_t i = resamples[k].row;
+            Row scratch = out.row(i);
+            std::vector<double> extra_values;
+            if (track_prior_values) {
+              extra_values = nearest_y_values(scratch);
+            }
+            std::vector<Candidate> candidates = GenerateCandidates(
+                unit, schema, scratch, options, extra_values, &task_rng);
+            if (candidates.empty()) continue;
+            std::vector<double> log_scores(candidates.size());
+            for (size_t c = 0; c < candidates.size(); ++c) {
+              ApplyCandidateToRow(unit, candidates[c], &scratch);
+              double penalty = 0.0;
+              if (use_dc_factor) {
+                penalty =
+                    FullTablePenalty(scratch, i, out, active, constraints);
               }
-              return Status::OK();
-            }));
+              log_scores[c] =
+                  std::log(candidates[c].prob + 1e-300) - penalty;
+            }
+            const size_t pick =
+                task_rng.Discrete(LogScoresToWeights(log_scores));
+            resamples[k].values = std::move(candidates[pick].values);
+            resamples[k].accepted = true;
+          }
+          return Status::OK();
+        };
+        if (allow_nested_parallel) {
+          KAMINO_RETURN_IF_ERROR(
+              runtime::ParallelFor(0, batch, 1, resample_range));
+        } else {
+          KAMINO_RETURN_IF_ERROR(resample_range(0, batch));
+        }
         for (Resample& r : resamples) {
           if (!r.accepted) continue;
           for (size_t a = 0; a < unit.attrs.size(); ++a) {
@@ -523,6 +566,485 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
       }
     }
   }
+  return Status::OK();
+}
+
+/// Strict weak ordering on cells under the Value ordering, for the
+/// deterministic sorts and map keys of the shard merge.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return EvalCompare(a, CompareOp::kLt, b);
+  }
+};
+
+/// Lexicographic ordering on row keys (e.g. FD LHS tuples or order-DC
+/// group scopes).
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    const size_t common = std::min(a.size(), b.size());
+    for (size_t i = 0; i < common; ++i) {
+      if (EvalCompare(a[i], CompareOp::kLt, b[i])) return true;
+      if (EvalCompare(b[i], CompareOp::kLt, a[i])) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Everything one shard produces: its slice of the instance, its final
+/// per-DC violation indices, and its telemetry counters.
+struct ShardState {
+  Table table;
+  std::vector<std::unique_ptr<ViolationIndex>> indices;
+  SynthesisTelemetry telemetry;
+};
+
+/// Shard planner: contiguous row ranges whose sizes are a pure function of
+/// (n, num_shards) — the first n % num_shards shards take one extra row —
+/// so shard boundaries never depend on the thread count.
+std::vector<size_t> ShardSizes(size_t n, size_t num_shards) {
+  std::vector<size_t> sizes(num_shards, n / num_shards);
+  for (size_t s = 0; s < n % num_shards; ++s) ++sizes[s];
+  return sizes;
+}
+
+/// Resolves the `num_shards` knob: 0 = one shard per worker thread, and
+/// never more shards than rows.
+size_t ResolveNumShards(const KaminoOptions& options, size_t n) {
+  size_t shards = options.num_shards == 0 ? runtime::GlobalNumThreads()
+                                          : options.num_shards;
+  if (shards < 1) shards = 1;
+  if (n > 0 && shards > n) shards = n;
+  return shards;
+}
+
+/// The shard-boundary reconciliation pass, run after the per-shard tables
+/// are concatenated into `out` (global row r of shard s lives at
+/// offsets[s] + r):
+///
+///  1. Per DC, fold the per-shard indices together in fixed shard order;
+///     `CountAgainst` on the running merge exposes exactly the cross-shard
+///     violating pairs the per-shard sampling could not see, and the rows
+///     involved become the conflict set.
+///  2. Over a bounded budget, re-score each conflicted row's activating
+///     unit against the *merged* instance (the same kernel as the MCMC
+///     pass, with randomness keyed by (row, unit) so the result is
+///     schedule-independent) and commit the greedy winner.
+///  3. Canonicalize hard FDs exactly via per-RHS-attribute connected
+///     components: after this no FD group maps one LHS to two RHS values,
+///     whatever the budget of step 2 left behind.
+///  4. Reconcile hard order DCs globally by rank alignment — the
+///     per-shard monotone relations are merged into one by reassigning
+///     the dependent attribute's sampled values in context rank order
+///     (per equality-scope group), which zeroes the DC's violations while
+///     permuting (not changing) the sampled value multiset.
+///  5. If step 4 touched an attribute a hard FD mentions, re-run step 3:
+///     the hard-FD guarantee always wins.
+Status ReconcileShards(const ProbabilisticDataModel& model,
+                       const std::vector<WeightedConstraint>& constraints,
+                       const KaminoOptions& options,
+                       const ActivationMap& activation,
+                       const std::vector<ShardState>& shards,
+                       const std::vector<size_t>& offsets, uint64_t merge_seed,
+                       Table* out, SynthesisTelemetry* telemetry) {
+  const Schema& schema = model.schema();
+  const size_t n = out->num_rows();
+
+  // Hard (possibly equality-scoped) order DCs are reconciled by rank
+  // alignment (step 4) instead of per-row re-sampling: each shard's
+  // internally monotone relation disagrees with the others', and no
+  // sequence of single-row repairs can make disagreeing monotone maps
+  // agree. Identify them up front so step 2's budget is not wasted there.
+  struct AlignTask {
+    size_t dc = 0;              // index into `constraints`
+    std::vector<size_t> group;  // equality scope (empty for the pair form)
+    size_t ctx = 0;             // sort context attribute
+    size_t dep = 0;             // attribute whose values get reassigned
+    bool co_monotone = true;
+  };
+  std::vector<bool> alignable(constraints.size(), false);
+  std::vector<AlignTask> alignments;
+  // Attributes an accepted task's correctness depends on: a later task
+  // whose dep would rewrite one of them would silently re-break the
+  // earlier task's zeroed DC, so such a task falls back to step 2 instead.
+  std::vector<size_t> locked_attrs;
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (shards[0].indices[l] == nullptr || !constraints[l].hard) continue;
+    AlignTask task;
+    task.dc = l;
+    size_t x = 0, y = 0;
+    if (!constraints[l].dc.AsGroupedOrderPair(&task.group, &x, &y,
+                                              &task.co_monotone)) {
+      continue;
+    }
+    const size_t u = activation.dc_unit[l];
+    if (u == SIZE_MAX || model.units()[u].attrs.size() != 1) continue;
+    // The dependent side is the attribute sampled last (the activating
+    // unit's attribute); its values get reassigned, the other side is the
+    // sort context.
+    const size_t a = model.units()[u].attrs[0];
+    if (a == y) {
+      task.dep = y;
+      task.ctx = x;
+    } else if (a == x) {
+      task.dep = x;
+      task.ctx = y;
+    } else {
+      continue;  // the unit samples a group attribute; fall back to step 2
+    }
+    if (std::find(locked_attrs.begin(), locked_attrs.end(), task.dep) !=
+        locked_attrs.end()) {
+      continue;  // would rewrite an earlier task's attribute
+    }
+    locked_attrs.push_back(task.dep);
+    locked_attrs.push_back(task.ctx);
+    locked_attrs.insert(locked_attrs.end(), task.group.begin(),
+                        task.group.end());
+    alignable[l] = true;
+    alignments.push_back(std::move(task));
+  }
+
+  // --- Step 1: deterministic fixed-order merge + conflict detection. ---
+  // merged[l] ends up indexing the whole instance for DC l; offenders maps
+  // each conflicted global row to the DCs it crosses shards on (std::map
+  // for a deterministic row-order walk in step 2).
+  std::vector<std::unique_ptr<ViolationIndex>> merged(constraints.size());
+  std::vector<int64_t> cross_by_dc(constraints.size(), 0);
+  std::map<size_t, std::vector<size_t>> offenders;
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (shards[0].indices[l] == nullptr) continue;
+    if (constraints[l].dc.is_unary()) continue;  // no cross-shard pairs
+    merged[l] = MakeViolationIndex(constraints[l].dc);
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const ViolationIndex& shard_index = *shards[s].indices[l];
+      if (s > 0) {
+        const int64_t cross = merged[l]->CountAgainst(shard_index);
+        cross_by_dc[l] += cross;
+        telemetry->merge_cross_violations += cross;
+        if (cross > 0 && !alignable[l]) {
+          const Table& shard = shards[s].table;
+          for (size_t r = 0; r < shard.num_rows(); ++r) {
+            if (merged[l]->CountNew(shard.row(r)) > 0) {
+              offenders[offsets[s] + r].push_back(l);
+            }
+          }
+        }
+      }
+      merged[l]->Merge(shard_index);
+    }
+  }
+  telemetry->merge_conflict_rows =
+      static_cast<int64_t>(offenders.size());
+
+  // Attributes modified after step 1's cross counts were taken (by step
+  // 2 repairs or step 3 rewrites). An alignment task whose attributes are
+  // untouched and whose DC saw no cross-shard violations can skip step 4.
+  std::vector<bool> attr_modified(schema.size(), false);
+
+  // --- Step 2: bounded re-sample repair against the merged instance. ---
+  size_t budget = options.shard_merge_resamples;
+  const runtime::RngStream merge_stream(merge_seed);
+  for (const auto& [row, dcs] : offenders) {
+    if (budget == 0) break;
+    // The units at which the conflicted DCs activate, ascending.
+    std::vector<size_t> units;
+    for (size_t l : dcs) {
+      const size_t u = activation.dc_unit[l];
+      if (u != SIZE_MAX &&
+          std::find(units.begin(), units.end(), u) == units.end()) {
+        units.push_back(u);
+      }
+    }
+    std::sort(units.begin(), units.end());
+    for (size_t u : units) {
+      if (budget == 0) break;
+      const ModelUnit& unit = model.units()[u];
+      const std::vector<size_t>& active = activation.unit_active[u];
+      Rng task_rng(merge_stream.Fork(row).SubSeed(u));
+      Row scratch = out->row(row);
+
+      // Merged-instance candidate seeding for numeric attributes: the FD
+      // group's established value and the order-DC neighbours' values are
+      // often the only feasible points.
+      std::vector<double> extra_values;
+      if (unit.attrs.size() == 1 &&
+          schema.attribute(unit.attrs[0]).is_numeric()) {
+        for (size_t l : active) {
+          std::vector<size_t> lhs;
+          size_t rhs = 0, x = 0, y = 0;
+          if (merged[l] != nullptr && constraints[l].dc.AsFd(&lhs, &rhs) &&
+              rhs == unit.attrs[0]) {
+            std::optional<Value> forced = merged[l]->FdForcedValue(scratch);
+            if (forced.has_value() && forced->is_numeric()) {
+              extra_values.push_back(forced->numeric());
+            }
+          } else if (constraints[l].dc.AsOrderPair(&x, &y)) {
+            const size_t other =
+                y == unit.attrs[0] ? x : (x == unit.attrs[0] ? y : SIZE_MAX);
+            if (other != SIZE_MAX && schema.attribute(other).is_numeric()) {
+              // Unit-attribute values of the 4 rows nearest in the other
+              // attribute (deterministic tie-break on row index).
+              const double x0 = scratch[other].numeric();
+              std::vector<std::pair<double, size_t>> nearest;
+              for (size_t j = 0; j < n; ++j) {
+                if (j == row) continue;
+                nearest.emplace_back(
+                    std::abs(out->at(j, other).numeric() - x0), j);
+              }
+              const size_t keep = std::min<size_t>(4, nearest.size());
+              std::partial_sort(nearest.begin(), nearest.begin() + keep,
+                                nearest.end());
+              for (size_t k = 0; k < keep; ++k) {
+                extra_values.push_back(
+                    out->at(nearest[k].second, unit.attrs[0]).numeric());
+              }
+            }
+          }
+        }
+      }
+
+      std::vector<Candidate> candidates = GenerateCandidates(
+          unit, schema, scratch, options, extra_values, &task_rng);
+      if (candidates.empty()) continue;
+      // Repair is greedy: commit the best-scoring candidate (first index
+      // wins ties, so the choice is deterministic) instead of sampling —
+      // the row already went through its shard's sampled draw; this pass
+      // only exists to undo cross-shard damage.
+      size_t pick = 0;
+      double best = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        ApplyCandidateToRow(unit, candidates[c], &scratch);
+        const double score =
+            std::log(candidates[c].prob + 1e-300) -
+            FullTablePenalty(scratch, row, *out, active, constraints);
+        if (score > best) {
+          best = score;
+          pick = c;
+        }
+      }
+      for (size_t a = 0; a < unit.attrs.size(); ++a) {
+        out->set(row, unit.attrs[a], candidates[pick].values[a]);
+        attr_modified[unit.attrs[a]] = true;
+      }
+      ++telemetry->merge_resamples;
+      --budget;
+    }
+  }
+
+  // --- Step 3: exact hard-FD canonicalization. ---
+  // Hard FDs sharing an RHS attribute must be canonicalized *jointly*
+  // (alternating per-DC sweeps can oscillate forever when two FDs pull the
+  // same cell toward different group values): for each RHS attribute, rows
+  // connected by sharing any of its FDs' LHS keys form a component, and
+  // the whole component takes the value of its smallest-index row. One
+  // round makes every FD of that RHS exact; extra rounds only run when an
+  // RHS attribute feeds another FD's LHS (a dependency chain, bounded by
+  // the schema width).
+  std::map<size_t, std::vector<size_t>> fds_by_rhs;  // rhs attr -> DCs
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (!constraints[l].hard || shards[0].indices[l] == nullptr) continue;
+    std::vector<size_t> lhs;
+    size_t rhs = 0;
+    if (constraints[l].dc.AsFd(&lhs, &rhs)) fds_by_rhs[rhs].push_back(l);
+  }
+  auto canonicalize_hard_fds = [&]() {
+    for (size_t round = 0; round < schema.size() + 1; ++round) {
+      int64_t rewrites = 0;
+      for (const auto& [rhs, dcs] : fds_by_rhs) {
+        // Union rows that any FD of this RHS forces to agree.
+        std::vector<size_t> parent(n);
+        for (size_t r = 0; r < n; ++r) parent[r] = r;
+        auto find = [&parent](size_t r) {
+          while (parent[r] != r) {
+            parent[r] = parent[parent[r]];
+            r = parent[r];
+          }
+          return r;
+        };
+        for (size_t l : dcs) {
+          std::vector<size_t> lhs;
+          size_t rhs_attr = 0;
+          constraints[l].dc.AsFd(&lhs, &rhs_attr);
+          std::map<std::vector<Value>, size_t, ValueVectorLess> first_row;
+          for (size_t r = 0; r < n; ++r) {
+            std::vector<Value> key;
+            key.reserve(lhs.size());
+            for (size_t a : lhs) key.push_back(out->at(r, a));
+            auto [it, inserted] = first_row.try_emplace(std::move(key), r);
+            if (!inserted) parent[find(r)] = find(it->second);
+          }
+        }
+        // The component's canonical value is that of its first row (rows
+        // walked in ascending order, so the choice is deterministic).
+        std::vector<std::optional<Value>> canonical(n);
+        for (size_t r = 0; r < n; ++r) {
+          const size_t root = find(r);
+          if (!canonical[root].has_value()) {
+            canonical[root] = out->at(r, rhs);
+          } else if (!(out->at(r, rhs) == *canonical[root])) {
+            out->set(r, rhs, *canonical[root]);
+            attr_modified[rhs] = true;
+            ++rewrites;
+          }
+        }
+      }
+      telemetry->merge_fd_rewrites += rewrites;
+      if (rewrites == 0) break;
+    }
+  };
+  canonicalize_hard_fds();
+
+  // --- Step 4: rank alignment for hard order DCs. ---
+  // Within each equality-scope group, sort rows by the context attribute
+  // (ties broken by global row index) and reassign the dependent
+  // attribute's sampled values in rank order — ascending for the
+  // co-monotone form, descending for the anti-monotone one. The result is
+  // a permutation of the values the shards sampled, so every per-value
+  // marginal is preserved exactly, and the DC's violation count drops to
+  // zero. Deterministic: no randomness, fixed tie-breaks. Runs after the
+  // FD canonicalization so the groups it scopes by are already final.
+  bool realigned_fd_attr = false;
+  for (const AlignTask& task : alignments) {
+    // A DC that is already violation-free needs no alignment: skip rather
+    // than permute values (and sever row-level correlations) to repair
+    // nothing. Cheap path first: no cross-shard violations and no
+    // attribute of the DC touched by steps 2/3; otherwise count for real.
+    bool touched = attr_modified[task.dep] || attr_modified[task.ctx];
+    for (size_t a : task.group) touched = touched || attr_modified[a];
+    if (cross_by_dc[task.dc] == 0 && !touched) continue;
+    if (CountViolations(constraints[task.dc].dc, *out) == 0) continue;
+    std::map<std::vector<Value>, std::vector<size_t>, ValueVectorLess> groups;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<Value> key;
+      key.reserve(task.group.size());
+      for (size_t a : task.group) key.push_back(out->at(r, a));
+      groups[std::move(key)].push_back(r);  // ascending rows per group
+    }
+    for (auto& [key, rows] : groups) {
+      if (rows.size() < 2) continue;
+      std::vector<size_t> order = rows;
+      std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+        const Value& a = out->at(i, task.ctx);
+        const Value& b = out->at(j, task.ctx);
+        if (EvalCompare(a, CompareOp::kLt, b)) return true;
+        if (EvalCompare(b, CompareOp::kLt, a)) return false;
+        return i < j;
+      });
+      std::vector<Value> values;
+      values.reserve(rows.size());
+      for (size_t r : rows) values.push_back(out->at(r, task.dep));
+      std::sort(values.begin(), values.end(), ValueLess());
+      if (!task.co_monotone) std::reverse(values.begin(), values.end());
+      for (size_t k = 0; k < order.size(); ++k) {
+        const size_t r = order[k];
+        if (!(out->at(r, task.dep) == values[k])) {
+          out->set(r, task.dep, values[k]);
+          // Mirror steps 2/3: a later alignment task reading this
+          // attribute must not take the cheap "untouched" skip.
+          attr_modified[task.dep] = true;
+          ++telemetry->merge_order_alignments;
+        }
+      }
+    }
+    // If the realigned attribute participates in a hard FD, that FD's
+    // exactness guarantee must be restored below.
+    for (const auto& [rhs, dcs] : fds_by_rhs) {
+      for (size_t l : dcs) {
+        const std::vector<size_t>& attrs = constraints[l].dc.attributes();
+        if (std::find(attrs.begin(), attrs.end(), task.dep) != attrs.end()) {
+          realigned_fd_attr = true;
+        }
+      }
+    }
+  }
+
+  // --- Step 5: hard FDs win. ---
+  // Rank alignment touching an FD attribute is the one way step 4 can
+  // undo step 3; re-canonicalize so the hard-FD contract holds
+  // unconditionally (the affected order DC then stays best-effort).
+  if (realigned_fd_attr) canonicalize_hard_fds();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> Synthesize(const ProbabilisticDataModel& model,
+                         const std::vector<WeightedConstraint>& constraints,
+                         size_t n, const KaminoOptions& options, Rng* rng,
+                         SynthesisTelemetry* telemetry) {
+  SynthesisTelemetry local_telemetry;
+  if (telemetry == nullptr) telemetry = &local_telemetry;
+  telemetry->num_threads = runtime::GlobalNumThreads();
+
+  const Schema& schema = model.schema();
+  const ActivationMap activation = BuildActivationMap(model, constraints);
+  const size_t num_shards = ResolveNumShards(options, n);
+  telemetry->num_shards = num_shards;
+
+  if (num_shards <= 1) {
+    // Exact sequential paper semantics: one shard spanning every row,
+    // driven directly by the run RNG (no sub-seeding), with nested
+    // parallelism for candidate scoring and MCMC batches.
+    Table out(schema);
+    std::vector<std::unique_ptr<ViolationIndex>> indices;
+    KAMINO_RETURN_IF_ERROR(SampleShardRows(
+        model, constraints, activation, n, options, options.mcmc_resamples,
+        /*allow_nested_parallel=*/true, rng, telemetry, &out, &indices));
+    return out;
+  }
+
+  // --- Shard plan: contiguous slices, one RngStream sub-seed per shard.
+  // Everything below is a pure function of (root seed, num_shards): shard
+  // randomness is keyed by shard index and the merge walks shards in fixed
+  // order, so the output is bit-identical at any thread count.
+  const std::vector<size_t> sizes = ShardSizes(n, num_shards);
+  // The run-wide MCMC budget splits across shards the same way rows do,
+  // so `mcmc_resamples` means the same total work at every shard count.
+  const std::vector<size_t> mcmc_budgets =
+      ShardSizes(options.mcmc_resamples, num_shards);
+  std::vector<size_t> offsets(num_shards, 0);
+  for (size_t s = 1; s < num_shards; ++s) {
+    offsets[s] = offsets[s - 1] + sizes[s - 1];
+  }
+  const runtime::RngStream root(rng->NextSeed());
+  const uint64_t merge_seed = root.SubSeed(num_shards);  // distinct stream
+
+  std::vector<ShardState> shards(num_shards);
+  for (ShardState& shard : shards) shard.table = Table(schema);
+  KAMINO_RETURN_IF_ERROR(
+      runtime::ParallelFor(0, num_shards, 1, [&](size_t lo, size_t hi) {
+        for (size_t s = lo; s < hi; ++s) {
+          Rng shard_rng(root.SubSeed(s));
+          KAMINO_RETURN_IF_ERROR(SampleShardRows(
+              model, constraints, activation, sizes[s], options,
+              mcmc_budgets[s], /*allow_nested_parallel=*/false, &shard_rng,
+              &shards[s].telemetry, &shards[s].table, &shards[s].indices));
+        }
+        return Status::OK();
+      }));
+
+  // Fixed-order aggregation of rows and telemetry.
+  Table out(schema);
+  for (const ShardState& shard : shards) {
+    for (size_t r = 0; r < shard.table.num_rows(); ++r) {
+      out.AppendRowUnchecked(shard.table.row(r));
+    }
+    telemetry->ar_proposals += shard.telemetry.ar_proposals;
+    telemetry->fd_fast_path_hits += shard.telemetry.fd_fast_path_hits;
+    telemetry->mcmc_resamples += shard.telemetry.mcmc_resamples;
+    telemetry->parallel_score_dispatches +=
+        shard.telemetry.parallel_score_dispatches;
+    telemetry->mcmc_batches += shard.telemetry.mcmc_batches;
+  }
+
+  const auto merge_start = std::chrono::steady_clock::now();
+  KAMINO_RETURN_IF_ERROR(ReconcileShards(model, constraints, options,
+                                         activation, shards, offsets,
+                                         merge_seed, &out, telemetry));
+  telemetry->merge_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    merge_start)
+          .count();
   return out;
 }
 

@@ -27,6 +27,25 @@ struct SynthesisTelemetry {
   int64_t parallel_score_dispatches = 0;
   /// Row batches executed by the parallel MCMC pass.
   int64_t mcmc_batches = 0;
+
+  // --- Shard-parallel synthesis (resolved num_shards > 1) ---
+  /// Shards the run was partitioned into (resolved; >= 1).
+  size_t num_shards = 1;
+  /// Cross-shard violating pairs found by the fixed-order index merge
+  /// (violations the per-shard sampling could not see).
+  int64_t merge_cross_violations = 0;
+  /// Rows that participated in at least one cross-shard violation.
+  int64_t merge_conflict_rows = 0;
+  /// Re-samples spent by the bounded reconciliation repair.
+  int64_t merge_resamples = 0;
+  /// Cells rewritten by the final hard-FD canonicalization sweep.
+  int64_t merge_fd_rewrites = 0;
+  /// Cells moved by the hard-order-DC rank alignment (a permutation of
+  /// the sampled values, so per-value marginals are unchanged).
+  int64_t merge_order_alignments = 0;
+  /// Wall-clock seconds of the merge + reconciliation pass (included in
+  /// the sampling phase timing).
+  double merge_seconds = 0.0;
 };
 
 /// Algorithm 3: constraint-aware database instance sampling.
@@ -40,6 +59,17 @@ struct SynthesisTelemetry {
 /// i.i.d. sampling (RandSampling), accept-reject sampling, the hard-FD
 /// fast path, and `mcmc_resamples` rounds of constrained re-sampling per
 /// column.
+///
+/// When `options.num_shards` resolves to more than one, the rows are
+/// partitioned into contiguous shards sampled concurrently (each shard
+/// drives the full per-row loop over its slice from its own RngStream
+/// sub-seed with per-shard violation indices), then the per-shard DC
+/// indices are merged in fixed shard order and a bounded reconciliation
+/// pass re-scores/repairs rows whose FD groups or order-DC ranges span
+/// shards; hard FDs are canonicalized exactly. The output is a pure
+/// function of (seed, num_shards) — bit-identical at any `num_threads` —
+/// and `num_shards == 1` reproduces the sequential paper semantics
+/// exactly.
 ///
 /// Runs entirely on the learned model - a post-processing step with no
 /// additional privacy cost.

@@ -219,18 +219,53 @@ bool DenialConstraint::AsFd(std::vector<size_t>* lhs, size_t* rhs) const {
 }
 
 bool DenialConstraint::AsOrderPair(size_t* x_attr, size_t* y_attr) const {
-  if (is_unary_ || predicates_.size() != 2) return false;
-  auto is_cross_order = [](const Predicate& p) {
-    return !p.rhs_is_constant && p.lhs_attr == p.rhs_attr &&
-           p.lhs_tuple != p.rhs_tuple &&
-           (p.op == CompareOp::kLt || p.op == CompareOp::kGt);
+  if (predicates_.size() != 2) return false;
+  std::vector<size_t> group;
+  size_t x = 0, y = 0;
+  if (!AsGroupedOrderPair(&group, &x, &y, nullptr) || !group.empty()) {
+    return false;
+  }
+  if (x_attr != nullptr) *x_attr = x;
+  if (y_attr != nullptr) *y_attr = y;
+  return true;
+}
+
+bool DenialConstraint::AsGroupedOrderPair(std::vector<size_t>* group_attrs,
+                                          size_t* x_attr, size_t* y_attr,
+                                          bool* co_monotone) const {
+  if (is_unary_) return false;
+  std::vector<size_t> group;
+  std::vector<const Predicate*> order;
+  for (const Predicate& p : predicates_) {
+    // Every predicate must compare the same attribute across the two
+    // tuples (no constants, no mixed-attribute comparisons).
+    if (p.rhs_is_constant || p.lhs_attr != p.rhs_attr ||
+        p.lhs_tuple == p.rhs_tuple) {
+      return false;
+    }
+    if (p.op == CompareOp::kEq) {
+      group.push_back(p.lhs_attr);
+    } else if (p.op == CompareOp::kLt || p.op == CompareOp::kGt) {
+      order.push_back(&p);
+    } else {
+      return false;
+    }
+  }
+  if (order.size() != 2 || order[0]->lhs_attr == order[1]->lhs_attr) {
+    return false;
+  }
+  // Normalize each order predicate to the (t1, t2) orientation; opposite
+  // normalized directions = the co-monotone form !(X up & Y down).
+  auto normalized_gt = [](const Predicate& p) {
+    const bool gt = p.op == CompareOp::kGt;
+    return p.lhs_tuple == 0 ? gt : !gt;
   };
-  const Predicate& p0 = predicates_[0];
-  const Predicate& p1 = predicates_[1];
-  if (!is_cross_order(p0) || !is_cross_order(p1)) return false;
-  if (p0.lhs_attr == p1.lhs_attr) return false;
-  if (x_attr != nullptr) *x_attr = p0.lhs_attr;
-  if (y_attr != nullptr) *y_attr = p1.lhs_attr;
+  if (group_attrs != nullptr) *group_attrs = group;
+  if (x_attr != nullptr) *x_attr = order[0]->lhs_attr;
+  if (y_attr != nullptr) *y_attr = order[1]->lhs_attr;
+  if (co_monotone != nullptr) {
+    *co_monotone = normalized_gt(*order[0]) != normalized_gt(*order[1]);
+  }
   return true;
 }
 

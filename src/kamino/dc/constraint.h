@@ -85,6 +85,19 @@ class DenialConstraint {
   /// the sampler's DC-aware candidate generation.
   bool AsOrderPair(size_t* x_attr, size_t* y_attr) const;
 
+  /// Generalization of `AsOrderPair` to order constraints scoped by
+  /// equality predicates, e.g. the per-state salary/rate dependency
+  ///   !(t1.S == t2.S & t1.X > t2.X & t1.Y < t2.Y).
+  /// Matches any number of cross-tuple equality predicates (the group;
+  /// empty for the plain pair form) plus exactly two strict cross-tuple
+  /// order predicates over distinct attributes. `co_monotone` is true when
+  /// the two order predicates point in opposite directions once normalized
+  /// to the same tuple orientation (the DC forbids X and Y moving in
+  /// opposite directions within a group) and false for the anti-monotone
+  /// form. Used by the shard-merge rank alignment.
+  bool AsGroupedOrderPair(std::vector<size_t>* group_attrs, size_t* x_attr,
+                          size_t* y_attr, bool* co_monotone) const;
+
   /// Round-trips the DC back to source syntax.
   std::string ToString(const Schema& schema) const;
 

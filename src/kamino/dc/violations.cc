@@ -92,6 +92,38 @@ class FdViolationIndex : public ViolationIndex {
     ++num_rows_;
   }
 
+  void Merge(const ViolationIndex& other) override {
+    const auto* peer = dynamic_cast<const FdViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "Merge across index types";
+    for (const auto& [key, stats] : peer->groups_) {
+      GroupStats& g = groups_[key];
+      g.size += stats.size;
+      for (const auto& [value, count] : stats.rhs_counts) {
+        g.rhs_counts[value] += count;
+      }
+    }
+    num_rows_ += peer->num_rows_;
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    const auto* peer = dynamic_cast<const FdViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "CountAgainst across index types";
+    // Cross pairs of a shared LHS group violate unless both sides carry the
+    // same RHS value: |A| * |B| - sum_v cA(v) * cB(v).
+    int64_t violations = 0;
+    for (const auto& [key, stats] : groups_) {
+      auto it = peer->groups_.find(key);
+      if (it == peer->groups_.end()) continue;
+      int64_t same = 0;
+      for (const auto& [value, count] : stats.rhs_counts) {
+        auto jt = it->second.rhs_counts.find(value);
+        if (jt != it->second.rhs_counts.end()) same += count * jt->second;
+      }
+      violations += stats.size * it->second.size - same;
+    }
+    return violations;
+  }
+
   std::optional<Value> FdForcedValue(const Row& row) const override {
     auto it = groups_.find(KeyOf(row));
     if (it == groups_.end() || it->second.rhs_counts.empty()) {
@@ -142,6 +174,17 @@ class UnaryViolationIndex : public ViolationIndex {
     ++num_rows_;
   }
 
+  void Merge(const ViolationIndex& other) override {
+    KAMINO_CHECK(dynamic_cast<const UnaryViolationIndex*>(&other) != nullptr)
+        << "Merge across index types";
+    num_rows_ += other.size();
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    (void)other;
+    return 0;  // unary DCs have no pairwise violations
+  }
+
   size_t size() const override { return num_rows_; }
 
  private:
@@ -165,6 +208,25 @@ class NaiveViolationIndex : public ViolationIndex {
   }
 
   void AddRow(const Row& row) override { rows_.push_back(row); }
+
+  void Merge(const ViolationIndex& other) override {
+    const auto* peer = dynamic_cast<const NaiveViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "Merge across index types";
+    rows_.insert(rows_.end(), peer->rows_.begin(), peer->rows_.end());
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    const auto* peer = dynamic_cast<const NaiveViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "CountAgainst across index types";
+    // Each unordered cross pair appears exactly once (one row per side).
+    int64_t count = 0;
+    for (const Row& a : rows_) {
+      for (const Row& b : peer->rows_) {
+        if (dc_.ViolatesPair(a, b)) ++count;
+      }
+    }
+    return count;
+  }
 
   size_t size() const override { return rows_.size(); }
 
@@ -243,6 +305,21 @@ std::vector<std::vector<double>> BuildViolationMatrix(
     if (dc.is_unary()) {
       runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
         matrix[i][l] = dc.ViolatesUnary(table.row(i)) ? 1.0 : 0.0;
+      });
+      continue;
+    }
+    std::vector<size_t> fd_lhs;
+    size_t fd_rhs = 0;
+    if (dc.AsFd(&fd_lhs, &fd_rhs)) {
+      // Equality-only (FD-shaped) DC: hash-partition instead of the O(n^2)
+      // pair scan. One sequential pass builds the LHS group stats, then
+      // each row's violation count is |group| - |same (LHS, RHS)| — the
+      // committed row cancels itself out of both terms. Exact integer
+      // counts, so the column matches the pair scan bit for bit.
+      FdViolationIndex groups(fd_lhs, fd_rhs);
+      for (size_t i = 0; i < n; ++i) groups.AddRow(table.row(i));
+      runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
+        matrix[i][l] = static_cast<double>(groups.CountNew(table.row(i)));
       });
       continue;
     }

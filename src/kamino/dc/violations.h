@@ -49,6 +49,12 @@ std::vector<std::vector<double>> BuildViolationMatrix(
 /// Implementations: an O(1) hash-group index for FD-shaped DCs, a trivial
 /// evaluator for unary DCs, and a prefix-scan fallback for general binary
 /// DCs.
+///
+/// Indices are *mergeable*: the shard-parallel sampler builds one index per
+/// shard and folds them together in fixed shard order with `Merge`, using
+/// `CountAgainst` to measure the cross-shard violations the per-shard
+/// sampling could not see. Both operations require the two indices to be
+/// over the same DC (and therefore the same implementation type).
 class ViolationIndex {
  public:
   virtual ~ViolationIndex() = default;
@@ -59,6 +65,17 @@ class ViolationIndex {
 
   /// Commits `row` to the index.
   virtual void AddRow(const Row& row) = 0;
+
+  /// Folds `other`'s committed rows into this index, equivalent to
+  /// re-adding them through `AddRow` one by one (but O(groups) for the FD
+  /// index). `other` must index the same DC.
+  virtual void Merge(const ViolationIndex& other) = 0;
+
+  /// Number of violating pairs (a, b) with `a` committed to this index and
+  /// `b` committed to `other` — cross violations only; pairs within either
+  /// index are not counted. Zero for unary DCs (no pairwise semantics).
+  /// `other` must index the same DC.
+  virtual int64_t CountAgainst(const ViolationIndex& other) const = 0;
 
   /// For FD-shaped DCs: the unique right-hand-side value already recorded
   /// for this row's left-hand-side group, if any. Enables the hard-FD fast

@@ -44,6 +44,58 @@ TEST(ConstraintParseTest, OrderShape) {
   EXPECT_EQ(y, 3u);
 }
 
+TEST(ConstraintParseTest, GroupedOrderShape) {
+  // Per-group order dependency: equality scope + two order predicates.
+  auto dc = DenialConstraint::Parse(
+      "!(t1.edu == t2.edu & t1.gain > t2.gain & t1.loss < t2.loss)",
+      TestSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc.value().AsOrderPair(nullptr, nullptr));  // 3 predicates
+  std::vector<size_t> group;
+  size_t x = 0, y = 0;
+  bool co = false;
+  ASSERT_TRUE(dc.value().AsGroupedOrderPair(&group, &x, &y, &co));
+  EXPECT_EQ(group, std::vector<size_t>{0});
+  EXPECT_EQ(x, 2u);
+  EXPECT_EQ(y, 3u);
+  EXPECT_TRUE(co);
+}
+
+TEST(ConstraintParseTest, GroupedOrderDirectionAndPlainForm) {
+  // The plain pair form matches with an empty group, and the normalized
+  // direction flag distinguishes co-monotone from anti-monotone DCs.
+  auto co_dc = DenialConstraint::Parse(
+      "!(t1.gain > t2.gain & t1.loss < t2.loss)", TestSchema());
+  ASSERT_TRUE(co_dc.ok());
+  std::vector<size_t> group;
+  size_t x = 0, y = 0;
+  bool co = false;
+  ASSERT_TRUE(co_dc.value().AsGroupedOrderPair(&group, &x, &y, &co));
+  EXPECT_TRUE(group.empty());
+  EXPECT_TRUE(co);
+
+  // Mirrored tuple orientation on the second predicate: t2.loss > t1.loss
+  // is the same co-monotone constraint.
+  auto mirrored = DenialConstraint::Parse(
+      "!(t1.gain > t2.gain & t2.loss > t1.loss)", TestSchema());
+  ASSERT_TRUE(mirrored.ok());
+  ASSERT_TRUE(mirrored.value().AsGroupedOrderPair(&group, &x, &y, &co));
+  EXPECT_TRUE(co);
+
+  // Anti-monotone: both predicates point the same way.
+  auto anti = DenialConstraint::Parse(
+      "!(t1.gain > t2.gain & t1.loss > t2.loss)", TestSchema());
+  ASSERT_TRUE(anti.ok());
+  ASSERT_TRUE(anti.value().AsGroupedOrderPair(&group, &x, &y, &co));
+  EXPECT_FALSE(co);
+
+  // FD shape is not an order constraint.
+  auto fd = DenialConstraint::Parse(
+      "!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)", TestSchema());
+  ASSERT_TRUE(fd.ok());
+  EXPECT_FALSE(fd.value().AsGroupedOrderPair(&group, &x, &y, &co));
+}
+
 TEST(ConstraintParseTest, UnaryWithConstants) {
   auto dc = DenialConstraint::Parse("!(t1.age < 10 & t1.gain > 50)",
                                     TestSchema());

@@ -178,6 +178,156 @@ TEST(ViolationIndexTest, FdForcedValueReportsGroupValue) {
   EXPECT_FALSE(index->FdForcedValue(MakeRow(1, 0, 0, 0)).has_value());
 }
 
+// Brute-force cross-shard violation count: unordered pairs with one row
+// from each set.
+int64_t CrossPairs(const DenialConstraint& dc, const std::vector<Row>& a,
+                   const std::vector<Row>& b) {
+  int64_t count = 0;
+  for (const Row& ra : a) {
+    for (const Row& rb : b) {
+      if (dc.ViolatesPair(ra, rb)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Row> RandomRows(size_t n, Rng* rng) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(MakeRow(static_cast<int>(rng->UniformInt(0, 2)),
+                           static_cast<int>(rng->UniformInt(0, 2)),
+                           static_cast<double>(rng->UniformInt(0, 6)),
+                           static_cast<double>(rng->UniformInt(0, 6))));
+  }
+  return rows;
+}
+
+TEST(ViolationIndexTest, MergeMatchesSequentialAdds) {
+  // For all three implementations: merging shard indices in order must be
+  // indistinguishable (CountNew on arbitrary probes, size) from adding
+  // every row through one index.
+  Schema schema = TestSchema();
+  Rng rng(41);
+  const std::vector<Row> shard_a = RandomRows(30, &rng);
+  const std::vector<Row> shard_b = RandomRows(20, &rng);
+  const std::vector<Row> probes = RandomRows(25, &rng);
+  const std::vector<DenialConstraint> dcs = {
+      Fd(schema), Order(schema),
+      // Fires for roughly half the random rows (u ranges over [0, 6]).
+      DenialConstraint::Parse("!(t1.u > 3)", schema).TakeValue()};
+  for (const DenialConstraint& dc : dcs) {
+    auto index_a = MakeViolationIndex(dc);
+    auto index_b = MakeViolationIndex(dc);
+    auto reference = MakeViolationIndex(dc);
+    for (const Row& r : shard_a) {
+      index_a->AddRow(r);
+      reference->AddRow(r);
+    }
+    for (const Row& r : shard_b) {
+      index_b->AddRow(r);
+      reference->AddRow(r);
+    }
+    auto merged = MakeViolationIndex(dc);
+    merged->Merge(*index_a);
+    merged->Merge(*index_b);
+    EXPECT_EQ(merged->size(), reference->size());
+    for (const Row& probe : probes) {
+      EXPECT_EQ(merged->CountNew(probe), reference->CountNew(probe));
+    }
+  }
+}
+
+TEST(ViolationIndexTest, MergePreservesFdForcedValue) {
+  Schema schema = TestSchema();
+  auto index_a = MakeViolationIndex(Fd(schema));
+  auto index_b = MakeViolationIndex(Fd(schema));
+  index_a->AddRow(MakeRow(0, 2, 0, 0));
+  index_b->AddRow(MakeRow(1, 1, 0, 0));
+  auto merged = MakeViolationIndex(Fd(schema));
+  merged->Merge(*index_a);
+  merged->Merge(*index_b);
+  ASSERT_TRUE(merged->FdForcedValue(MakeRow(0, 0, 0, 0)).has_value());
+  EXPECT_EQ(merged->FdForcedValue(MakeRow(0, 0, 0, 0))->category(), 2);
+  ASSERT_TRUE(merged->FdForcedValue(MakeRow(1, 0, 0, 0)).has_value());
+  EXPECT_EQ(merged->FdForcedValue(MakeRow(1, 0, 0, 0))->category(), 1);
+}
+
+TEST(ViolationIndexTest, CountAgainstMatchesPairScan) {
+  // Property test: CountAgainst must equal the brute-force count of
+  // violating unordered cross pairs for both the hash-group FD index and
+  // the prefix-scan binary index, on arbitrary data.
+  Schema schema = TestSchema();
+  Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::vector<Row> shard_a = RandomRows(25 + trial * 5, &rng);
+    const std::vector<Row> shard_b = RandomRows(35, &rng);
+    for (const DenialConstraint& dc : {Fd(schema), Order(schema)}) {
+      auto index_a = MakeViolationIndex(dc);
+      auto index_b = MakeViolationIndex(dc);
+      for (const Row& r : shard_a) index_a->AddRow(r);
+      for (const Row& r : shard_b) index_b->AddRow(r);
+      EXPECT_EQ(index_a->CountAgainst(*index_b),
+                CrossPairs(dc, shard_a, shard_b))
+          << "trial " << trial;
+      // Symmetric by construction of unordered pairs.
+      EXPECT_EQ(index_a->CountAgainst(*index_b),
+                index_b->CountAgainst(*index_a));
+    }
+  }
+}
+
+TEST(ViolationIndexTest, CountAgainstUnaryIsZero) {
+  Schema schema = TestSchema();
+  auto dc = DenialConstraint::Parse("!(t1.u > 50)", schema).TakeValue();
+  auto index_a = MakeViolationIndex(dc);
+  auto index_b = MakeViolationIndex(dc);
+  index_a->AddRow(MakeRow(0, 0, 60, 0));
+  index_b->AddRow(MakeRow(0, 0, 70, 0));
+  EXPECT_EQ(index_a->CountAgainst(*index_b), 0);
+}
+
+TEST(ViolationIndexTest, CountAgainstEmptyIndexIsZero) {
+  Schema schema = TestSchema();
+  for (const DenialConstraint& dc : {Fd(schema), Order(schema)}) {
+    auto index_a = MakeViolationIndex(dc);
+    auto empty = MakeViolationIndex(dc);
+    index_a->AddRow(MakeRow(0, 0, 10, 10));
+    EXPECT_EQ(index_a->CountAgainst(*empty), 0);
+    EXPECT_EQ(empty->CountAgainst(*index_a), 0);
+    auto merged = MakeViolationIndex(dc);
+    merged->Merge(*empty);
+    EXPECT_EQ(merged->size(), 0u);
+  }
+}
+
+TEST(ViolationMatrixTest, FdHashPartitionMatchesPairScan) {
+  // The O(n) hash-partitioned FD column must match a brute-force per-row
+  // pair count exactly (both are integer counts).
+  Schema schema = TestSchema();
+  Rng rng(47);
+  Table t(schema);
+  for (int i = 0; i < 120; ++i) {
+    t.AppendRowUnchecked(MakeRow(static_cast<int>(rng.UniformInt(0, 2)),
+                                 static_cast<int>(rng.UniformInt(0, 2)),
+                                 static_cast<double>(rng.UniformInt(0, 5)),
+                                 static_cast<double>(rng.UniformInt(0, 5))));
+  }
+  std::vector<WeightedConstraint> constraints =
+      ParseConstraints({"!(t1.x == t2.x & t1.y != t2.y)"}, {false}, schema)
+          .TakeValue();
+  const auto matrix = BuildViolationMatrix(t, constraints);
+  const DenialConstraint& dc = constraints[0].dc;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    int64_t expected = 0;
+    for (size_t j = 0; j < t.num_rows(); ++j) {
+      if (j != i && dc.ViolatesPair(t.row(i), t.row(j))) ++expected;
+    }
+    ASSERT_DOUBLE_EQ(matrix[i][0], static_cast<double>(expected))
+        << "row " << i;
+  }
+}
+
 TEST(ViolationMatrixTest, CountsPerTupleViolations) {
   Schema schema = TestSchema();
   std::vector<WeightedConstraint> constraints =

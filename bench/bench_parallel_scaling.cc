@@ -2,11 +2,14 @@
 // BuildViolationMatrix (Algorithm 5), constraint-aware synthesis
 // (Algorithm 3) and DP-SGD training (Algorithm 2) — at 1/2/4/N threads on
 // the generated 600-row Adult workload, plus a cross-thread-count
-// determinism check. Emits BENCH_parallel.json for the perf trajectory.
+// determinism check, the 1/2/4/8 shard sweep, and the sorted order-DC
+// engine vs the naive pair scan at growing n. Emits BENCH_parallel.json
+// for the perf trajectory.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -162,10 +165,64 @@ int Main() {
   }
   std::printf("\nsharded output across thread counts: %s\n",
               shards_deterministic ? "IDENTICAL (bit-exact)" : "MISMATCH");
+
+  // --- Hot path 5: sorted order-DC violation engine. ---
+  // Naive pair scan vs the sorted Fenwick/block-list engine on the Tax
+  // workload's grouped order DC (per-state salary/rate), at growing n:
+  // full counting and the sampler-shaped incremental CountNew/AddRow
+  // commit loop. Single-threaded so the ratio is purely algorithmic.
+  runtime::SetGlobalNumThreads(1);
+  std::printf("\n%-28s %8s %12s %12s %9s\n", "method", "rows", "naive-sec",
+              "sorted-sec", "speedup");
+  bool order_counts_agree = true;
+  for (size_t n : {size_t{600}, size_t{2400}, size_t{9600}}) {
+    const BenchmarkDataset tax = MakeTaxLike(n, kSeed);
+    const std::vector<WeightedConstraint> tax_dcs = Constraints(tax);
+    const DenialConstraint* order_dc = nullptr;
+    for (const WeightedConstraint& wc : tax_dcs) {
+      if (wc.dc.AsGroupedOrderSpec().has_value()) order_dc = &wc.dc;
+    }
+    KAMINO_CHECK(order_dc != nullptr) << "tax workload lost its order DC";
+    if (CountViolations(*order_dc, tax.table) !=
+        CountViolationsNaive(*order_dc, tax.table)) {
+      order_counts_agree = false;
+    }
+    const double naive_count = TimeBest(
+        2, [&] { (void)CountViolationsNaive(*order_dc, tax.table); });
+    const double sorted_count =
+        TimeBest(2, [&] { (void)CountViolations(*order_dc, tax.table); });
+    records.push_back({"order_count_naive", n, 1, naive_count});
+    records.push_back({"order_count_sorted", n, 1, sorted_count});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "order_count", n,
+                naive_count, sorted_count, naive_count / sorted_count);
+    // The incremental commit loop: score every row against the prefix,
+    // then add it — the shape of Algorithm 3's per-candidate scoring.
+    auto run_index = [&](std::unique_ptr<ViolationIndex> index) {
+      int64_t sum = 0;
+      for (size_t i = 0; i < tax.table.num_rows(); ++i) {
+        sum += index->CountNew(tax.table.row(i));
+        index->AddRow(tax.table.row(i));
+      }
+      return sum;
+    };
+    int64_t naive_sum = 0;
+    int64_t sorted_sum = 0;
+    const double naive_index = TimeBest(
+        2, [&] { naive_sum = run_index(MakeNaiveViolationIndex(*order_dc)); });
+    const double sorted_index = TimeBest(
+        2, [&] { sorted_sum = run_index(MakeViolationIndex(*order_dc)); });
+    if (naive_sum != sorted_sum) order_counts_agree = false;
+    records.push_back({"order_index_naive", n, 1, naive_index});
+    records.push_back({"order_index_sorted", n, 1, sorted_index});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "order_index", n,
+                naive_index, sorted_index, naive_index / sorted_index);
+  }
+  std::printf("\norder-DC sorted vs naive counts: %s\n",
+              order_counts_agree ? "IDENTICAL (exact)" : "MISMATCH");
   runtime::SetGlobalNumThreads(0);
 
   WriteBenchJson("BENCH_parallel.json", records);
-  return deterministic && shards_deterministic ? 0 : 1;
+  return deterministic && shards_deterministic && order_counts_agree ? 0 : 1;
 }
 
 }  // namespace

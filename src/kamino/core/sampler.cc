@@ -625,7 +625,10 @@ size_t ResolveNumShards(const KaminoOptions& options, size_t n) {
 ///  1. Per DC, fold the per-shard indices together in fixed shard order;
 ///     `CountAgainst` on the running merge exposes exactly the cross-shard
 ///     violating pairs the per-shard sampling could not see, and the rows
-///     involved become the conflict set.
+///     involved become the conflict set. Every mergeable index class is
+///     subquadratic here — hash-group sweeps for FDs, Fenwick-tree
+///     inversion sweeps for (equality-scoped) order DCs — so only the
+///     residual general binary DCs still pay a cross pair scan.
 ///  2. Over a bounded budget, re-score each conflicted row's activating
 ///     unit against the *merged* instance (the same kernel as the MCMC
 ///     pass, with randomness keyed by (row, unit) so the result is
@@ -670,13 +673,15 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   std::vector<size_t> locked_attrs;
   for (size_t l = 0; l < constraints.size(); ++l) {
     if (shards[0].indices[l] == nullptr || !constraints[l].hard) continue;
+    std::optional<GroupedOrderSpec> spec =
+        constraints[l].dc.AsGroupedOrderSpec();
+    if (!spec.has_value()) continue;
     AlignTask task;
     task.dc = l;
-    size_t x = 0, y = 0;
-    if (!constraints[l].dc.AsGroupedOrderPair(&task.group, &x, &y,
-                                              &task.co_monotone)) {
-      continue;
-    }
+    task.group = spec->group_attrs;
+    task.co_monotone = spec->co_monotone;
+    const size_t x = spec->x_attr;
+    const size_t y = spec->y_attr;
     const size_t u = activation.dc_unit[l];
     if (u == SIZE_MAX || model.units()[u].attrs.size() != 1) continue;
     // The dependent side is the attribute sampled last (the activating

@@ -1,6 +1,7 @@
 #include "kamino/dc/constraint.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -64,23 +65,73 @@ Result<std::pair<int, size_t>> ParseTupleRef(std::string_view token,
   return std::make_pair(tuple, idx);
 }
 
+/// Splits the DC body on '&' outside 'quoted' label constants (the same
+/// quote rule as FindOperator below: quotes toggle, no escapes), so a
+/// label like 'R&D' does not end its predicate early. Keeps empty fields,
+/// like Split, so empty-predicate diagnostics are unchanged.
+std::vector<std::string> SplitPredicates(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  bool in_quote = false;
+  for (char c : text) {
+    if (c == '\'') in_quote = !in_quote;
+    if (c == '&' && !in_quote) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// Finds the leftmost comparison operator outside 'quoted' label
+/// constants. A single left-to-right scan (two-character operators matched
+/// before their one-character prefixes at each position) rather than a
+/// per-operator search of the whole text: the latter picked whichever
+/// candidate operator came first in *priority* order, so a predicate like
+/// `t1.occ != 'a==b'` split at the `==` inside the quoted label and parsed
+/// as kEq with garbage operands.
 Result<CompareOp> FindOperator(std::string_view text, size_t* pos,
                                size_t* len) {
-  // Two-character operators must be checked before their one-character
-  // prefixes.
-  static constexpr struct {
-    const char* text;
-    CompareOp op;
-  } kOps[] = {
-      {"==", CompareOp::kEq}, {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe},
-      {">=", CompareOp::kGe}, {"<", CompareOp::kLt},  {">", CompareOp::kGt},
-  };
-  for (const auto& candidate : kOps) {
-    size_t p = text.find(candidate.text);
-    if (p != std::string_view::npos) {
+  bool in_quote = false;
+  for (size_t p = 0; p < text.size(); ++p) {
+    const char c = text[p];
+    if (c == '\'') {
+      in_quote = !in_quote;
+      continue;
+    }
+    if (in_quote) continue;
+    const bool eq_next = p + 1 < text.size() && text[p + 1] == '=';
+    if (eq_next) {
+      std::optional<CompareOp> two;
+      switch (c) {
+        case '=':
+          two = CompareOp::kEq;
+          break;
+        case '!':
+          two = CompareOp::kNe;
+          break;
+        case '<':
+          two = CompareOp::kLe;
+          break;
+        case '>':
+          two = CompareOp::kGe;
+          break;
+        default:
+          break;
+      }
+      if (two.has_value()) {
+        *pos = p;
+        *len = 2;
+        return *two;
+      }
+    }
+    if (c == '<' || c == '>') {
       *pos = p;
-      *len = std::string_view(candidate.text).size();
-      return candidate.op;
+      *len = 1;
+      return c == '<' ? CompareOp::kLt : CompareOp::kGt;
     }
   }
   return Status::InvalidArgument("no comparison operator in predicate: '" +
@@ -157,7 +208,7 @@ Result<DenialConstraint> DenialConstraint::Parse(const std::string& spec,
   DenialConstraint dc;
   std::set<size_t> attrs;
   bool mentions_t2 = false;
-  for (const std::string& part : Split(text, '&')) {
+  for (const std::string& part : SplitPredicates(text)) {
     if (Trim(part).empty()) {
       return Status::InvalidArgument("empty predicate in DC: " + spec);
     }
@@ -233,26 +284,36 @@ bool DenialConstraint::AsOrderPair(size_t* x_attr, size_t* y_attr) const {
 bool DenialConstraint::AsGroupedOrderPair(std::vector<size_t>* group_attrs,
                                           size_t* x_attr, size_t* y_attr,
                                           bool* co_monotone) const {
-  if (is_unary_) return false;
-  std::vector<size_t> group;
+  std::optional<GroupedOrderSpec> spec = AsGroupedOrderSpec();
+  if (!spec.has_value()) return false;
+  if (group_attrs != nullptr) *group_attrs = spec->group_attrs;
+  if (x_attr != nullptr) *x_attr = spec->x_attr;
+  if (y_attr != nullptr) *y_attr = spec->y_attr;
+  if (co_monotone != nullptr) *co_monotone = spec->co_monotone;
+  return true;
+}
+
+std::optional<GroupedOrderSpec> DenialConstraint::AsGroupedOrderSpec() const {
+  if (is_unary_) return std::nullopt;
+  GroupedOrderSpec spec;
   std::vector<const Predicate*> order;
   for (const Predicate& p : predicates_) {
     // Every predicate must compare the same attribute across the two
     // tuples (no constants, no mixed-attribute comparisons).
     if (p.rhs_is_constant || p.lhs_attr != p.rhs_attr ||
         p.lhs_tuple == p.rhs_tuple) {
-      return false;
+      return std::nullopt;
     }
     if (p.op == CompareOp::kEq) {
-      group.push_back(p.lhs_attr);
+      spec.group_attrs.push_back(p.lhs_attr);
     } else if (p.op == CompareOp::kLt || p.op == CompareOp::kGt) {
       order.push_back(&p);
     } else {
-      return false;
+      return std::nullopt;
     }
   }
   if (order.size() != 2 || order[0]->lhs_attr == order[1]->lhs_attr) {
-    return false;
+    return std::nullopt;
   }
   // Normalize each order predicate to the (t1, t2) orientation; opposite
   // normalized directions = the co-monotone form !(X up & Y down).
@@ -260,13 +321,10 @@ bool DenialConstraint::AsGroupedOrderPair(std::vector<size_t>* group_attrs,
     const bool gt = p.op == CompareOp::kGt;
     return p.lhs_tuple == 0 ? gt : !gt;
   };
-  if (group_attrs != nullptr) *group_attrs = group;
-  if (x_attr != nullptr) *x_attr = order[0]->lhs_attr;
-  if (y_attr != nullptr) *y_attr = order[1]->lhs_attr;
-  if (co_monotone != nullptr) {
-    *co_monotone = normalized_gt(*order[0]) != normalized_gt(*order[1]);
-  }
-  return true;
+  spec.x_attr = order[0]->lhs_attr;
+  spec.y_attr = order[1]->lhs_attr;
+  spec.co_monotone = normalized_gt(*order[0]) != normalized_gt(*order[1]);
+  return spec;
 }
 
 std::string DenialConstraint::ToString(const Schema& schema) const {

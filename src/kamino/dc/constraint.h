@@ -1,6 +1,7 @@
 #ifndef KAMINO_DC_CONSTRAINT_H_
 #define KAMINO_DC_CONSTRAINT_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,35 @@ struct Predicate {
     if (rhs_is_constant) return EvalCompare(lhs, op, rhs_constant);
     const Value& rhs = (rhs_tuple == 0 ? t1 : t2)[rhs_attr];
     return EvalCompare(lhs, op, rhs);
+  }
+};
+
+/// Normalized description of an (equality-scoped) order DC, as matched by
+/// `DenialConstraint::AsGroupedOrderSpec`: within each group of rows that
+/// agree on `group_attrs`, the DC forbids X and Y moving in opposite
+/// directions (`co_monotone`, e.g. !(t1.X > t2.X & t1.Y < t2.Y)) or in the
+/// same direction (anti-monotone, e.g. !(t1.X > t2.X & t1.Y > t2.Y)).
+///
+/// The orientation helpers reduce both forms to one geometry: with
+/// `ContextKey(x)` on one axis and `OrientedKey(y)` on the other, an
+/// unordered pair violates the DC exactly when it is an *inversion* — one
+/// row strictly higher in X and strictly lower in oriented Y. Ties on
+/// either axis never violate (the order predicates are strict). This is
+/// what lets the sorted scans count violations with rank queries instead
+/// of pair enumeration.
+struct GroupedOrderSpec {
+  std::vector<size_t> group_attrs;  // equality scope; empty for plain pairs
+  size_t x_attr = 0;
+  size_t y_attr = 0;
+  bool co_monotone = true;
+
+  /// Sort key of the context axis (plain Value order).
+  double ContextKey(const Value& x) const { return x.OrderKey(); }
+
+  /// Sort key of the dependent axis, negated for the anti-monotone form so
+  /// that violating pairs are inversions in both cases.
+  double OrientedKey(const Value& y) const {
+    return co_monotone ? y.OrderKey() : -y.OrderKey();
   }
 };
 
@@ -97,6 +127,10 @@ class DenialConstraint {
   /// form. Used by the shard-merge rank alignment.
   bool AsGroupedOrderPair(std::vector<size_t>* group_attrs, size_t* x_attr,
                           size_t* y_attr, bool* co_monotone) const;
+
+  /// Struct-valued form of `AsGroupedOrderPair`, bundling the match with
+  /// the rank/orientation helpers the sorted violation scans use.
+  std::optional<GroupedOrderSpec> AsGroupedOrderSpec() const;
 
   /// Round-trips the DC back to source syntax.
   std::string ToString(const Schema& schema) const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "kamino/common/logging.h"
 #include "kamino/runtime/parallel_for.h"
@@ -39,8 +41,6 @@ struct FdKeyHash {
     return h;
   }
 };
-
-int64_t PairsOf(int64_t m) { return m * (m - 1) / 2; }
 
 /// Counts violating unordered pairs of an FD-shaped DC by grouping: within
 /// an LHS group of size g whose RHS value multiplicities are c_v, the
@@ -130,11 +130,18 @@ class FdViolationIndex : public ViolationIndex {
       return std::nullopt;
     }
     // Report the majority RHS value of the group (in a violation-free
-    // instance the group has exactly one value).
+    // instance the group has exactly one value). Equal counts tie-break
+    // toward the smallest value under the Value ordering — never toward
+    // unordered_map iteration order, which differs across standard-library
+    // implementations and would make forced-value repair non-portable.
     const auto& counts = it->second.rhs_counts;
     auto best = counts.begin();
     for (auto jt = counts.begin(); jt != counts.end(); ++jt) {
-      if (jt->second > best->second) best = jt;
+      if (jt->second > best->second ||
+          (jt->second == best->second &&
+           EvalCompare(jt->first, CompareOp::kLt, best->first))) {
+        best = jt;
+      }
     }
     return best->first;
   }
@@ -235,7 +242,416 @@ class NaiveViolationIndex : public ViolationIndex {
   std::vector<Row> rows_;
 };
 
+// ---------------------------------------------------------------------------
+// Sorted order-DC engine.
+//
+// A DC matching `AsGroupedOrderPair` partitions the instance into equality
+// groups, and within a group an unordered pair violates exactly when it is
+// a strict *inversion* between the context axis X and the oriented
+// dependent axis Y' (GroupedOrderSpec::OrientedKey folds the co- and
+// anti-monotone forms into one geometry; ties on either axis never
+// violate). Everything below counts inversions with rank queries instead
+// of pair enumeration.
+// ---------------------------------------------------------------------------
+
+/// Fenwick (binary indexed) tree counting points by rank.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t num_ranks) : tree_(num_ranks + 1, 0) {}
+
+  void Add(size_t rank) {
+    for (size_t i = rank + 1; i < tree_.size(); i += i & (~i + 1)) {
+      ++tree_[i];
+    }
+    ++total_;
+  }
+
+  /// Number of added points with rank < `rank`.
+  int64_t CountBelowRank(size_t rank) const {
+    int64_t sum = 0;
+    for (size_t i = rank; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  int64_t total() const { return total_; }
+
+ private:
+  std::vector<int64_t> tree_;
+  int64_t total_ = 0;
+};
+
+/// Rank of `key` in the sorted-unique universe `keys` (lower bound).
+size_t RankOf(const std::vector<double>& keys, double key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+/// Added points with key strictly above `key`.
+int64_t CountAbove(const Fenwick& bit, const std::vector<double>& keys,
+                   double key) {
+  const size_t upper = static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  return bit.total() - bit.CountBelowRank(upper);
+}
+
+/// One row of a grouped order DC, reduced to its two sort keys.
+struct OrderPoint {
+  double x = 0.0;  // context key
+  double y = 0.0;  // oriented dependent key
+  size_t row = 0;  // source row (used by the matrix column pass)
+};
+
+bool OrderPointByX(const OrderPoint& a, const OrderPoint& b) {
+  return a.x < b.x;
+}
+
+/// Sorted-unique oriented-y universe of a point set.
+std::vector<double> YUniverse(const std::vector<OrderPoint>& points) {
+  std::vector<double> keys;
+  keys.reserve(points.size());
+  for (const OrderPoint& p : points) keys.push_back(p.y);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+/// Partitions `table` into the DC's equality groups, each an x-sorted
+/// point vector.
+std::vector<std::vector<OrderPoint>> GroupOrderPoints(
+    const GroupedOrderSpec& spec, const Table& table) {
+  std::unordered_map<FdKey, std::vector<OrderPoint>, FdKeyHash> by_group;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const Row& row = table.row(i);
+    FdKey key;
+    key.values.reserve(spec.group_attrs.size());
+    for (size_t a : spec.group_attrs) key.values.push_back(row[a]);
+    by_group[key].push_back({spec.ContextKey(row[spec.x_attr]),
+                             spec.OrientedKey(row[spec.y_attr]), i});
+  }
+  std::vector<std::vector<OrderPoint>> groups;
+  groups.reserve(by_group.size());
+  for (auto& [key, points] : by_group) {
+    std::sort(points.begin(), points.end(), OrderPointByX);
+    groups.push_back(std::move(points));
+  }
+  return groups;
+}
+
+/// The one Fenwick sweep every order count is built from: walk an
+/// x-sorted group in ascending x, and for each point emit the number of
+/// already-seen points (strictly smaller x — equal-x batches insert after
+/// querying, so x ties never count) with strictly larger oriented y.
+/// `keys` is the group's sorted-unique y universe.
+template <typename Emit>
+void AscendingInversionSweep(const std::vector<OrderPoint>& points,
+                             const std::vector<double>& keys,
+                             const Emit& emit) {
+  Fenwick bit(keys.size());
+  for (size_t i = 0; i < points.size();) {
+    size_t j = i;
+    while (j < points.size() && points[j].x == points[i].x) ++j;
+    for (size_t k = i; k < j; ++k) {
+      emit(points[k], CountAbove(bit, keys, points[k].y));
+    }
+    for (size_t k = i; k < j; ++k) bit.Add(RankOf(keys, points[k].y));
+    i = j;
+  }
+}
+
+/// Inversions within one x-sorted group: every violating pair is counted
+/// exactly once, at its larger-x member.
+int64_t GroupInversions(const std::vector<OrderPoint>& points) {
+  int64_t count = 0;
+  AscendingInversionSweep(points, YUniverse(points),
+                          [&](const OrderPoint&, int64_t c) { count += c; });
+  return count;
+}
+
+/// O(n log n) violation count of a grouped order DC over a table.
+int64_t CountOrderViolations(const GroupedOrderSpec& spec,
+                             const Table& table) {
+  int64_t count = 0;
+  for (const auto& points : GroupOrderPoints(spec, table)) {
+    count += GroupInversions(points);
+  }
+  return count;
+}
+
+/// Per-row inversion counts of a grouped order DC (the DC's column of the
+/// violation matrix): two Fenwick passes per group — ascending x counts
+/// each row's partners with smaller x and larger y', descending x counts
+/// partners with larger x and smaller y'. Exact
+/// integers, so the column is bit-identical to the pair scan.
+void OrderViolationColumn(const GroupedOrderSpec& spec, const Table& table,
+                          std::vector<int64_t>* column) {
+  column->assign(table.num_rows(), 0);
+  for (const auto& points : GroupOrderPoints(spec, table)) {
+    const std::vector<double> keys = YUniverse(points);
+    auto into_column = [&](const OrderPoint& p, int64_t count) {
+      (*column)[p.row] += count;
+    };
+    // Pass 1 (ascending x): partners with x_j < x_i and y_j > y_i.
+    AscendingInversionSweep(points, keys, into_column);
+    // Pass 2: partners with x_j > x_i and y_j < y_i — the same sweep on
+    // the point-reflected group (both axes negated, order reversed so the
+    // reflection is x-sorted again; "seen with larger -y" = smaller y).
+    std::vector<OrderPoint> reflected(points.rbegin(), points.rend());
+    for (OrderPoint& p : reflected) {
+      p.x = -p.x;
+      p.y = -p.y;
+    }
+    std::vector<double> reflected_keys(keys.rbegin(), keys.rend());
+    for (double& k : reflected_keys) k = -k;
+    AscendingInversionSweep(reflected, reflected_keys, into_column);
+  }
+}
+
+/// Incremental index for (equality-scoped) order DCs, replacing the
+/// O(prefix) pair probe of NaiveViolationIndex for this DC class.
+///
+/// Per equality group the committed rows live in an x-sorted list of
+/// blocks of ~2*sqrt(m) rows, each block carrying its oriented-y values
+/// both in x order and sorted. `CountNew` resolves whole blocks strictly
+/// left/right of the candidate's x with one binary search each (the rows
+/// above/below the candidate's y), and scans only the <= 2 blocks the
+/// candidate's x falls into — O(sqrt(m) * log) per candidate instead of
+/// O(m). `Merge` rebuilds each group from the two x-sorted sequences in
+/// linear-log time, and `CountAgainst` runs a merged ascending-x sweep
+/// with one Fenwick tree per side, O((m_a + m_b) log) per group. All
+/// counts are exact integers: the index is output-indistinguishable from
+/// the naive probe.
+class OrderViolationIndex : public ViolationIndex {
+ public:
+  explicit OrderViolationIndex(GroupedOrderSpec spec)
+      : spec_(std::move(spec)) {}
+
+  int64_t CountNew(const Row& row) const override {
+    auto it = groups_.find(KeyOf(row));
+    if (it == groups_.end()) return 0;
+    const double x = spec_.ContextKey(row[spec_.x_attr]);
+    const double y = spec_.OrientedKey(row[spec_.y_attr]);
+    int64_t count = 0;
+    for (const Block& b : it->second.blocks) {
+      if (b.xs.back() < x) {
+        // Entirely left of the candidate in x: its rows with larger
+        // oriented y are inversions.
+        count += b.ys_sorted.end() -
+                 std::upper_bound(b.ys_sorted.begin(), b.ys_sorted.end(), y);
+      } else if (b.xs.front() > x) {
+        count += std::lower_bound(b.ys_sorted.begin(), b.ys_sorted.end(), y) -
+                 b.ys_sorted.begin();
+      } else if (b.xs.front() == x && b.xs.back() == x) {
+        // x ties never violate a strict order predicate.
+      } else {
+        // A block straddling the candidate's x (at most two per query):
+        // test its rows individually.
+        for (size_t k = 0; k < b.xs.size(); ++k) {
+          if ((b.xs[k] < x && b.ys[k] > y) || (b.xs[k] > x && b.ys[k] < y)) {
+            ++count;
+          }
+        }
+      }
+    }
+    return count;
+  }
+
+  void AddRow(const Row& row) override {
+    groups_[KeyOf(row)].Insert(spec_.ContextKey(row[spec_.x_attr]),
+                               spec_.OrientedKey(row[spec_.y_attr]));
+    ++num_rows_;
+  }
+
+  void Merge(const ViolationIndex& other) override {
+    const auto* peer = dynamic_cast<const OrderViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "Merge across index types";
+    for (const auto& [key, group] : peer->groups_) {
+      Group& mine = groups_[key];
+      mine = Group::MergeSorted(mine, group);
+    }
+    num_rows_ += peer->num_rows_;
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    const auto* peer = dynamic_cast<const OrderViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "CountAgainst across index types";
+    int64_t count = 0;
+    for (const auto& [key, group] : groups_) {
+      auto it = peer->groups_.find(key);
+      if (it == peer->groups_.end()) continue;
+      count += CrossInversions(group, it->second);
+    }
+    return count;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  /// One x-sorted run of committed rows: xs ascending, ys aligned with xs,
+  /// ys_sorted an independently sorted copy for the rank queries.
+  struct Block {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<double> ys_sorted;
+  };
+
+  /// The block list of one equality group, globally sorted by x.
+  struct Group {
+    std::vector<Block> blocks;
+    size_t size = 0;
+
+    /// Block capacity ~2*sqrt(m) (power of two, floor 64): queries touch
+    /// O(m / cap) blocks plus O(cap) straddled rows, balanced at sqrt.
+    static size_t BlockCap(size_t m) {
+      size_t cap = 64;
+      while (cap * cap < 4 * m) cap *= 2;
+      return cap;
+    }
+
+    void Insert(double x, double y) {
+      ++size;
+      if (blocks.empty()) {
+        blocks.push_back(Block{{x}, {y}, {y}});
+        return;
+      }
+      // The last block starting at or before x (the first block when x
+      // precedes them all).
+      auto it = std::upper_bound(
+          blocks.begin(), blocks.end(), x,
+          [](double v, const Block& b) { return v < b.xs.front(); });
+      const size_t idx =
+          it == blocks.begin()
+              ? 0
+              : static_cast<size_t>(it - blocks.begin()) - 1;
+      Block& b = blocks[idx];
+      const size_t pos = static_cast<size_t>(
+          std::upper_bound(b.xs.begin(), b.xs.end(), x) - b.xs.begin());
+      b.xs.insert(b.xs.begin() + pos, x);
+      b.ys.insert(b.ys.begin() + pos, y);
+      b.ys_sorted.insert(
+          std::upper_bound(b.ys_sorted.begin(), b.ys_sorted.end(), y), y);
+      if (b.xs.size() > BlockCap(size)) Split(idx);
+    }
+
+    void Split(size_t idx) {
+      Block& left = blocks[idx];
+      const size_t half = left.xs.size() / 2;
+      Block right;
+      right.xs.assign(left.xs.begin() + half, left.xs.end());
+      right.ys.assign(left.ys.begin() + half, left.ys.end());
+      left.xs.resize(half);
+      left.ys.resize(half);
+      right.ys_sorted = right.ys;
+      std::sort(right.ys_sorted.begin(), right.ys_sorted.end());
+      left.ys_sorted = left.ys;
+      std::sort(left.ys_sorted.begin(), left.ys_sorted.end());
+      blocks.insert(blocks.begin() + idx + 1, std::move(right));
+    }
+
+    /// Flattens the blocks back into one x-ascending (x, y) sequence.
+    void Flatten(std::vector<double>* xs, std::vector<double>* ys) const {
+      xs->reserve(size);
+      ys->reserve(size);
+      for (const Block& b : blocks) {
+        xs->insert(xs->end(), b.xs.begin(), b.xs.end());
+        ys->insert(ys->end(), b.ys.begin(), b.ys.end());
+      }
+    }
+
+    /// Rebuilds a group from two groups' x-sorted sequences (linear merge,
+    /// then even re-blocking at the merged size's capacity).
+    static Group MergeSorted(const Group& a, const Group& b) {
+      std::vector<double> ax, ay, bx, by;
+      a.Flatten(&ax, &ay);
+      b.Flatten(&bx, &by);
+      Group out;
+      out.size = a.size + b.size;
+      const size_t chunk = BlockCap(out.size) / 2;
+      size_t i = 0, j = 0;
+      Block current;
+      auto flush = [&] {
+        if (current.xs.empty()) return;
+        current.ys_sorted = current.ys;
+        std::sort(current.ys_sorted.begin(), current.ys_sorted.end());
+        out.blocks.push_back(std::move(current));
+        current = Block();
+      };
+      while (i < ax.size() || j < bx.size()) {
+        const bool take_a = j >= bx.size() || (i < ax.size() && ax[i] <= bx[j]);
+        current.xs.push_back(take_a ? ax[i] : bx[j]);
+        current.ys.push_back(take_a ? ay[i] : by[j]);
+        take_a ? ++i : ++j;
+        if (current.xs.size() >= chunk) flush();
+      }
+      flush();
+      return out;
+    }
+  };
+
+  /// Cross inversions between two groups of the same key: one merged
+  /// ascending-x sweep; each side queries the *other* side's already-seen
+  /// rows, so every cross pair with strictly different x is counted
+  /// exactly once (at its larger-x member) and equal-x batches insert
+  /// after querying.
+  static int64_t CrossInversions(const Group& a, const Group& b) {
+    std::vector<double> ax, ay, bx, by;
+    a.Flatten(&ax, &ay);
+    b.Flatten(&bx, &by);
+    std::vector<double> keys;
+    keys.reserve(ay.size() + by.size());
+    keys.insert(keys.end(), ay.begin(), ay.end());
+    keys.insert(keys.end(), by.begin(), by.end());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Fenwick seen_a(keys.size());
+    Fenwick seen_b(keys.size());
+    int64_t count = 0;
+    size_t i = 0, j = 0;
+    while (i < ax.size() || j < bx.size()) {
+      const double x = (j >= bx.size() || (i < ax.size() && ax[i] <= bx[j]))
+                           ? ax[i]
+                           : bx[j];
+      const size_t i0 = i, j0 = j;
+      for (; i < ax.size() && ax[i] == x; ++i) {
+        count += CountAbove(seen_b, keys, ay[i]);
+      }
+      for (; j < bx.size() && bx[j] == x; ++j) {
+        count += CountAbove(seen_a, keys, by[j]);
+      }
+      for (size_t k = i0; k < i; ++k) seen_a.Add(RankOf(keys, ay[k]));
+      for (size_t k = j0; k < j; ++k) seen_b.Add(RankOf(keys, by[k]));
+    }
+    return count;
+  }
+
+  FdKey KeyOf(const Row& row) const {
+    FdKey key;
+    key.values.reserve(spec_.group_attrs.size());
+    for (size_t a : spec_.group_attrs) key.values.push_back(row[a]);
+    return key;
+  }
+
+  GroupedOrderSpec spec_;
+  size_t num_rows_ = 0;
+  std::unordered_map<FdKey, Group, FdKeyHash> groups_;
+};
+
 }  // namespace
+
+int64_t PairsOf(int64_t m) {
+  if (m < 2) return 0;
+  // Halve the even factor before multiplying: m * (m - 1) would overflow
+  // int64 from m ~ 3.04e9 even though the pair count still fits.
+  KAMINO_CHECK(m <= (int64_t{1} << 32))
+      << "pair count exceeds int64; use PairsOfDouble";
+  return (m % 2 == 0) ? (m / 2) * (m - 1) : m * ((m - 1) / 2);
+}
+
+double PairsOfDouble(int64_t m) {
+  if (m < 2) return 0.0;
+  // Deliberately double: exact until the count passes 2^53 (m > ~1.3e8),
+  // approximate but overflow-free beyond.
+  return 0.5 * static_cast<double>(m) * static_cast<double>(m - 1);
+}
 
 int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
   const size_t n = table.num_rows();
@@ -270,6 +686,8 @@ int64_t CountViolations(const DenialConstraint& dc, const Table& table) {
   std::vector<size_t> lhs;
   size_t rhs = 0;
   if (dc.AsFd(&lhs, &rhs)) return CountFdViolations(lhs, rhs, table);
+  std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
+  if (order.has_value()) return CountOrderViolations(*order, table);
   return CountViolationsNaive(dc, table);
 }
 
@@ -278,8 +696,7 @@ double ViolationRatePercent(const DenialConstraint& dc, const Table& table) {
   if (n == 0) return 0.0;
   const int64_t violations = CountViolations(dc, table);
   const double denom =
-      dc.is_unary() ? static_cast<double>(n)
-                    : static_cast<double>(n) * (n - 1) / 2.0;
+      dc.is_unary() ? static_cast<double>(n) : PairsOfDouble(n);
   if (denom <= 0) return 0.0;
   return 100.0 * static_cast<double>(violations) / denom;
 }
@@ -323,6 +740,19 @@ std::vector<std::vector<double>> BuildViolationMatrix(
       });
       continue;
     }
+    std::optional<GroupedOrderSpec> order_spec = dc.AsGroupedOrderSpec();
+    if (order_spec.has_value()) {
+      // (Equality-scoped) order DC: sorted scan instead of the O(n^2)
+      // pair scan — per-row inversion counts via two Fenwick passes per
+      // group (O(n log n)), exact integers, so the column matches the
+      // pair scan bit for bit.
+      std::vector<int64_t> column;
+      OrderViolationColumn(*order_spec, table, &column);
+      runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
+        matrix[i][l] = static_cast<double>(column[i]);
+      });
+      continue;
+    }
     // Each chunk of outer rows scans its i < j pairs into a private column
     // so rows i and j of a violating pair never race, then folds it into
     // the matrix under a lock and frees it — live memory stays bounded by
@@ -363,6 +793,16 @@ std::unique_ptr<ViolationIndex> MakeViolationIndex(
   if (dc.AsFd(&lhs, &rhs)) {
     return std::make_unique<FdViolationIndex>(std::move(lhs), rhs);
   }
+  std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
+  if (order.has_value()) {
+    return std::make_unique<OrderViolationIndex>(std::move(*order));
+  }
+  return std::make_unique<NaiveViolationIndex>(dc);
+}
+
+std::unique_ptr<ViolationIndex> MakeNaiveViolationIndex(
+    const DenialConstraint& dc) {
+  KAMINO_CHECK(!dc.is_unary()) << "naive index is for binary DCs";
   return std::make_unique<NaiveViolationIndex>(dc);
 }
 

@@ -11,12 +11,26 @@
 
 namespace kamino {
 
+/// C(m, 2), the number of unordered pairs of m rows, as an exact 64-bit
+/// count. The even factor is halved *before* the multiply, so there is no
+/// intermediate overflow: the result is exact for any m <= 2^32 (above
+/// that the pair count itself no longer fits in int64 — checked).
+int64_t PairsOf(int64_t m);
+
+/// C(m, 2) in double precision: never overflows, but deliberately
+/// approximate once the pair count passes 2^53 (m > ~1.3e8 rows), where
+/// doubles stop representing every integer. Rates and telemetry use this
+/// form; anything that must stay exact (violation counts, digests) uses
+/// the integer `PairsOf`.
+double PairsOfDouble(int64_t m);
+
 /// Counts the violations of `dc` over the whole instance:
 /// - unary DC: the number of violating tuples;
 /// - binary DC: the number of violating *unordered* tuple pairs (a pair
 ///   violates when either binding orientation fires).
-/// Uses the FD grouping fast path when the DC has FD shape, and the naive
-/// O(n^2) scan otherwise.
+/// Uses the FD grouping fast path for FD-shaped DCs, an O(n log n)
+/// sort + Fenwick-tree inversion count for (equality-scoped) order DCs,
+/// and the naive O(n^2) scan otherwise.
 int64_t CountViolations(const DenialConstraint& dc, const Table& table);
 
 /// Forces the naive scan (reference implementation; used by tests to check
@@ -25,6 +39,8 @@ int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table);
 
 /// Violations as the percentage used by Table 2 of the paper:
 /// 100 * |V| / C(n, 2) for binary DCs, 100 * |V| / n for unary DCs.
+/// The pair-count denominator is computed with `PairsOfDouble`, so the
+/// rate never overflows but carries double rounding past 2^53 pairs.
 double ViolationRatePercent(const DenialConstraint& dc, const Table& table);
 
 /// Number of violations tuple `row` would add against rows [0, prefix_len)
@@ -36,9 +52,12 @@ int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
 /// number of violations of DC l caused by tuple i with respect to all other
 /// tuples of `table`.
 ///
-/// The pair scans run on the global runtime pool (kamino/runtime/):
-/// chunk-private partial columns merge in fixed order with exact integer
-/// sums, so the matrix is bit-identical at any thread count.
+/// FD-shaped DCs hash-partition to O(n) and (equality-scoped) order DCs
+/// use a sorted scan with two Fenwick-tree passes (O(n log n)); the
+/// remaining binary DCs pair-scan on the global runtime pool
+/// (kamino/runtime/): chunk-private partial columns merge in fixed order
+/// with exact integer sums, so the matrix is bit-identical to the pair
+/// scan at any thread count.
 std::vector<std::vector<double>> BuildViolationMatrix(
     const Table& table, const std::vector<WeightedConstraint>& constraints);
 
@@ -47,8 +66,10 @@ std::vector<std::vector<double>> BuildViolationMatrix(
 /// scored for the number of *new* violations they would introduce.
 ///
 /// Implementations: an O(1) hash-group index for FD-shaped DCs, a trivial
-/// evaluator for unary DCs, and a prefix-scan fallback for general binary
-/// DCs.
+/// evaluator for unary DCs, a sorted block-list index for (equality-
+/// scoped) order DCs (sub-linear `CountNew`, Fenwick-tree `Merge`/
+/// `CountAgainst` sweeps), and a prefix-scan fallback for the remaining
+/// general binary DCs.
 ///
 /// Indices are *mergeable*: the shard-parallel sampler builds one index per
 /// shard and folds them together in fixed shard order with `Merge`, using
@@ -92,6 +113,12 @@ class ViolationIndex {
 
 /// Creates the best index implementation for `dc`.
 std::unique_ptr<ViolationIndex> MakeViolationIndex(const DenialConstraint& dc);
+
+/// Forces the prefix-scan fallback regardless of DC shape (the reference
+/// implementation: property tests and benchmarks compare the specialized
+/// indices against it, mirroring CountViolationsNaive).
+std::unique_ptr<ViolationIndex> MakeNaiveViolationIndex(
+    const DenialConstraint& dc);
 
 }  // namespace kamino
 

@@ -114,6 +114,72 @@ TEST(ConstraintParseTest, CategoricalLabelConstant) {
   EXPECT_FALSE(dc.value().ViolatesUnary(MakeRow(0, 1, 0, 0, 10)));
 }
 
+TEST(ConstraintParseTest, OperatorCharactersInsideQuotedLabels) {
+  // Regression: the operator search used to probe candidates in fixed
+  // priority order over the whole predicate text, so `t1.occ != 'a==b'`
+  // split at the `==` inside the quoted label and parsed as kEq with
+  // garbage operands. The scan must find the leftmost operator *outside*
+  // quotes.
+  Schema schema({
+      Attribute::MakeCategorical("occ", {"a==b", "x<y", "p>=q", "plain"}),
+      Attribute::MakeNumeric("age", 0, 120, 121),
+  });
+  auto ne = DenialConstraint::Parse("!(t1.occ != 'a==b' & t1.age < 18)",
+                                    schema);
+  ASSERT_TRUE(ne.ok()) << ne.status();
+  ASSERT_EQ(ne.value().predicates().size(), 2u);
+  EXPECT_EQ(ne.value().predicates()[0].op, CompareOp::kNe);
+  ASSERT_TRUE(ne.value().predicates()[0].rhs_is_constant);
+  EXPECT_EQ(ne.value().predicates()[0].rhs_constant.category(), 0);
+  // Violates for a minor whose occ is anything but 'a==b'.
+  EXPECT_TRUE(ne.value().ViolatesUnary(
+      {Value::Categorical(3), Value::Numeric(10)}));
+  EXPECT_FALSE(ne.value().ViolatesUnary(
+      {Value::Categorical(0), Value::Numeric(10)}));
+
+  // One-character operators inside labels must not match either.
+  auto lt = DenialConstraint::Parse("!(t1.occ == 'x<y' & t1.age < 18)",
+                                    schema);
+  ASSERT_TRUE(lt.ok()) << lt.status();
+  EXPECT_EQ(lt.value().predicates()[0].op, CompareOp::kEq);
+  EXPECT_EQ(lt.value().predicates()[0].rhs_constant.category(), 1);
+
+  // Two-character operators inside labels, with a real >= outside.
+  auto ge = DenialConstraint::Parse("!(t1.occ == 'p>=q' & t1.age >= 65)",
+                                    schema);
+  ASSERT_TRUE(ge.ok()) << ge.status();
+  EXPECT_EQ(ge.value().predicates()[0].rhs_constant.category(), 2);
+  EXPECT_EQ(ge.value().predicates()[1].op, CompareOp::kGe);
+
+  // Such labels survive the print/re-parse round trip.
+  auto reparsed =
+      DenialConstraint::Parse(ne.value().ToString(schema), schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().ToString(schema), ne.value().ToString(schema));
+}
+
+TEST(ConstraintParseTest, AmpersandInsideQuotedLabels) {
+  // The predicate splitter must also be quote-aware: a label like 'R&D'
+  // must not end its predicate at the '&'.
+  Schema schema({
+      Attribute::MakeCategorical("dept", {"R&D", "sales"}),
+      Attribute::MakeNumeric("age", 0, 120, 121),
+  });
+  auto dc = DenialConstraint::Parse("!(t1.dept == 'R&D' & t1.age < 18)",
+                                    schema);
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  ASSERT_EQ(dc.value().predicates().size(), 2u);
+  EXPECT_EQ(dc.value().predicates()[0].op, CompareOp::kEq);
+  EXPECT_EQ(dc.value().predicates()[0].rhs_constant.category(), 0);
+  EXPECT_TRUE(dc.value().ViolatesUnary(
+      {Value::Categorical(0), Value::Numeric(10)}));
+  EXPECT_FALSE(dc.value().ViolatesUnary(
+      {Value::Categorical(1), Value::Numeric(10)}));
+  auto reparsed = DenialConstraint::Parse(dc.value().ToString(schema), schema);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().ToString(schema), dc.value().ToString(schema));
+}
+
 TEST(ConstraintParseTest, MalformedInputs) {
   const Schema schema = TestSchema();
   EXPECT_FALSE(DenialConstraint::Parse("t1.a == t2.a", schema).ok());

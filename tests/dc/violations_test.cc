@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "kamino/data/generators.h"
 
 namespace kamino {
@@ -347,6 +349,174 @@ TEST(ViolationMatrixTest, CountsPerTupleViolations) {
   // Unary: only row 0 has u > 50.
   EXPECT_DOUBLE_EQ(matrix[0][1], 1.0);
   EXPECT_DOUBLE_EQ(matrix[1][1], 0.0);
+}
+
+TEST(ViolationsTest, PairsOfExactWithoutIntermediateOverflow) {
+  EXPECT_EQ(PairsOf(0), 0);
+  EXPECT_EQ(PairsOf(1), 0);
+  EXPECT_EQ(PairsOf(2), 1);
+  EXPECT_EQ(PairsOf(5), 10);
+  // From m ~ 3.04e9 the textbook m * (m - 1) / 2 overflows its int64
+  // intermediate; the halved form must stay exact through m = 2^32, where
+  // the pair count itself approaches INT64_MAX.
+  for (int64_t m : {int64_t{3037000500}, int64_t{4000000001},
+                    int64_t{1} << 32}) {
+    const auto wide =
+        static_cast<__int128>(m) * (m - 1) / 2;
+    EXPECT_EQ(PairsOf(m), static_cast<int64_t>(wide)) << "m=" << m;
+  }
+}
+
+TEST(ViolationsTest, PairsOfDoubleExactBelowPrecisionBoundary) {
+  // Below 2^53 pairs the double count is the exact integer; past it the
+  // value is documented-approximate but finite and monotone.
+  for (int64_t m : {int64_t{3}, int64_t{100000}, int64_t{1} << 26}) {
+    EXPECT_EQ(PairsOfDouble(m), static_cast<double>(PairsOf(m))) << m;
+  }
+  const double big = PairsOfDouble(int64_t{1} << 40);
+  EXPECT_TRUE(std::isfinite(big));
+  EXPECT_GT(big, 9e15);  // past 2^53: double territory, deliberately
+  EXPECT_LT(PairsOfDouble((int64_t{1} << 40) - 1), big);
+}
+
+TEST(ViolationIndexTest, FdForcedValueBreaksTiesByValueOrder) {
+  // Equal RHS counts must resolve by the Value ordering (smallest wins),
+  // not by unordered_map iteration order, which differs across standard
+  // libraries and would make forced-value repair non-deterministic.
+  Schema schema = TestSchema();
+  auto index = MakeViolationIndex(Fd(schema));
+  index->AddRow(MakeRow(0, 2, 0, 0));
+  index->AddRow(MakeRow(0, 1, 0, 0));  // counts now tied 1-1
+  auto forced = index->FdForcedValue(MakeRow(0, 0, 0, 0));
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->category(), 1);
+  index->AddRow(MakeRow(0, 2, 0, 0));  // majority beats the tie-break
+  EXPECT_EQ(index->FdForcedValue(MakeRow(0, 0, 0, 0))->category(), 2);
+}
+
+/// The four order-predicate orientations (two co-monotone, two
+/// anti-monotone spellings), plain and equality-scoped.
+std::vector<DenialConstraint> AllOrderOrientations(const Schema& schema) {
+  std::vector<DenialConstraint> dcs;
+  for (const char* spec : {
+           "!(t1.u > t2.u & t1.v < t2.v)",  // co-monotone
+           "!(t1.u < t2.u & t1.v > t2.v)",  // co-monotone, mirrored
+           "!(t1.u > t2.u & t1.v > t2.v)",  // anti-monotone
+           "!(t1.u < t2.u & t1.v < t2.v)",  // anti-monotone, mirrored
+           "!(t1.x == t2.x & t1.u > t2.u & t1.v < t2.v)",   // grouped co
+           "!(t1.x == t2.x & t1.u > t2.u & t1.v > t2.v)",   // grouped anti
+       }) {
+    auto dc = DenialConstraint::Parse(spec, schema);
+    EXPECT_TRUE(dc.ok()) << spec;
+    EXPECT_TRUE(dc.value().AsGroupedOrderPair(nullptr, nullptr, nullptr,
+                                              nullptr))
+        << spec;
+    dcs.push_back(dc.value());
+  }
+  return dcs;
+}
+
+TEST(OrderViolationIndexTest, CountNewMatchesNaiveOnRandomTables) {
+  // Property test: for every orientation, the sorted index must agree
+  // with the prefix-scan reference at every step of an incremental build
+  // (small value ranges force plenty of x/y ties, where the strict-order
+  // semantics are easiest to get wrong).
+  Schema schema = TestSchema();
+  Rng rng(71);
+  for (const DenialConstraint& dc : AllOrderOrientations(schema)) {
+    auto sorted = MakeViolationIndex(dc);
+    auto naive = MakeNaiveViolationIndex(dc);
+    for (int i = 0; i < 200; ++i) {
+      Row row = MakeRow(static_cast<int>(rng.UniformInt(0, 2)),
+                        static_cast<int>(rng.UniformInt(0, 2)),
+                        static_cast<double>(rng.UniformInt(0, 7)),
+                        static_cast<double>(rng.UniformInt(0, 7)));
+      ASSERT_EQ(sorted->CountNew(row), naive->CountNew(row))
+          << dc.ToString(schema) << " at row " << i;
+      sorted->AddRow(row);
+      naive->AddRow(row);
+    }
+    EXPECT_EQ(sorted->size(), naive->size());
+  }
+}
+
+TEST(OrderViolationIndexTest, MergeAndCountAgainstMatchNaive) {
+  // Property test over all orientations: CountAgainst must equal the
+  // brute-force cross-pair count, and a merged index must be
+  // indistinguishable from sequential adds on arbitrary probes.
+  Schema schema = TestSchema();
+  Rng rng(73);
+  for (const DenialConstraint& dc : AllOrderOrientations(schema)) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const std::vector<Row> shard_a = RandomRows(40 + trial * 15, &rng);
+      const std::vector<Row> shard_b = RandomRows(30, &rng);
+      const std::vector<Row> probes = RandomRows(20, &rng);
+      auto index_a = MakeViolationIndex(dc);
+      auto index_b = MakeViolationIndex(dc);
+      for (const Row& r : shard_a) index_a->AddRow(r);
+      for (const Row& r : shard_b) index_b->AddRow(r);
+      EXPECT_EQ(index_a->CountAgainst(*index_b),
+                CrossPairs(dc, shard_a, shard_b))
+          << dc.ToString(schema) << " trial " << trial;
+      EXPECT_EQ(index_a->CountAgainst(*index_b),
+                index_b->CountAgainst(*index_a));
+      auto merged = MakeViolationIndex(dc);
+      merged->Merge(*index_a);
+      merged->Merge(*index_b);
+      auto reference = MakeNaiveViolationIndex(dc);
+      for (const Row& r : shard_a) reference->AddRow(r);
+      for (const Row& r : shard_b) reference->AddRow(r);
+      ASSERT_EQ(merged->size(), reference->size());
+      for (const Row& probe : probes) {
+        EXPECT_EQ(merged->CountNew(probe), reference->CountNew(probe))
+            << dc.ToString(schema) << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(OrderViolationIndexTest, CountViolationsMatchesNaiveOnRandomTables) {
+  // The O(n log n) sort + Fenwick full count must agree with the pair
+  // scan for every orientation.
+  Schema schema = TestSchema();
+  Rng rng(79);
+  for (const DenialConstraint& dc : AllOrderOrientations(schema)) {
+    for (int trial = 0; trial < 3; ++trial) {
+      Table t(schema);
+      for (const Row& r : RandomRows(60 + trial * 30, &rng)) {
+        t.AppendRowUnchecked(r);
+      }
+      EXPECT_EQ(CountViolations(dc, t), CountViolationsNaive(dc, t))
+          << dc.ToString(schema) << " trial " << trial;
+    }
+  }
+}
+
+TEST(ViolationMatrixTest, OrderColumnsMatchPairScan) {
+  // The two-BIT-pass sorted columns must match a brute-force per-row pair
+  // count exactly (both are integer counts, so exact equality).
+  Schema schema = TestSchema();
+  Rng rng(83);
+  Table t(schema);
+  for (const Row& r : RandomRows(150, &rng)) t.AppendRowUnchecked(r);
+  std::vector<WeightedConstraint> constraints =
+      ParseConstraints({"!(t1.u > t2.u & t1.v < t2.v)",
+                        "!(t1.x == t2.x & t1.u > t2.u & t1.v < t2.v)",
+                        "!(t1.u > t2.u & t1.v > t2.v)"},
+                       {false, false, false}, schema)
+          .TakeValue();
+  const auto matrix = BuildViolationMatrix(t, constraints);
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    const DenialConstraint& dc = constraints[l].dc;
+    for (size_t i = 0; i < t.num_rows(); ++i) {
+      int64_t expected = 0;
+      for (size_t j = 0; j < t.num_rows(); ++j) {
+        if (j != i && dc.ViolatesPair(t.row(i), t.row(j))) ++expected;
+      }
+      ASSERT_DOUBLE_EQ(matrix[i][l], static_cast<double>(expected))
+          << "dc " << l << " row " << i;
+    }
+  }
 }
 
 TEST(ViolationsTest, GeneratorCrossCheck) {

@@ -2,9 +2,9 @@
 // BuildViolationMatrix (Algorithm 5), constraint-aware synthesis
 // (Algorithm 3) and DP-SGD training (Algorithm 2) — at 1/2/4/N threads on
 // the generated 600-row Adult workload, plus a cross-thread-count
-// determinism check, the 1/2/4/8 shard sweep, and the sorted order-DC
-// engine vs the naive pair scan at growing n. Emits BENCH_parallel.json
-// for the perf trajectory.
+// determinism check, the 1/2/4/8 shard sweep, and the sorted order-DC and
+// composite mixed-DC engines vs the naive pair scan at growing n. Emits
+// BENCH_parallel.json for the perf trajectory.
 
 #include <algorithm>
 #include <chrono>
@@ -219,10 +219,92 @@ int Main() {
   }
   std::printf("\norder-DC sorted vs naive counts: %s\n",
               order_counts_agree ? "IDENTICAL (exact)" : "MISMATCH");
+
+  // --- Hot path 6: composite violation engine for mixed-shape DCs. ---
+  // Binary DCs combining equality scope, strict/non-strict order
+  // predicates, and inequations in one constraint — the residual class
+  // that pair-scanned before the predicate decomposition — on the Tax
+  // schema at growing n: full counting and the incremental commit loop,
+  // composite engine vs the naive reference. Single-threaded so the
+  // ratio is purely algorithmic.
+  std::printf("\n%-28s %8s %12s %12s %9s\n", "method", "rows", "naive-sec",
+              "composite-sec", "speedup");
+  bool mixed_counts_agree = true;
+  for (size_t n : {size_t{600}, size_t{2400}, size_t{9600}}) {
+    const BenchmarkDataset tax = MakeTaxLike(n, kSeed);
+    const Schema& schema = tax.table.schema();
+    std::vector<DenialConstraint> mixed;
+    for (const char* spec : {
+             // equality + strict order pair + inequation
+             "!(t1.state == t2.state & t1.salary > t2.salary & "
+             "t1.rate < t2.rate & t1.marital != t2.marital)",
+             // equality + two inequations
+             "!(t1.state == t2.state & t1.marital != t2.marital & "
+             "t1.single_exemp != t2.single_exemp)",
+             // non-strict order pair + inequation
+             "!(t1.single_exemp >= t2.single_exemp & "
+             "t1.child_exemp <= t2.child_exemp & t1.has_child != t2.has_child)",
+         }) {
+      auto dc = DenialConstraint::Parse(spec, schema);
+      KAMINO_CHECK(dc.ok()) << dc.status();
+      KAMINO_CHECK(dc.value().Decompose().shape ==
+                   PredicateDecomposition::Shape::kComposite)
+          << spec << " left the composite class";
+      mixed.push_back(dc.value());
+    }
+    for (const DenialConstraint& dc : mixed) {
+      if (CountViolations(dc, tax.table) !=
+          CountViolationsNaive(dc, tax.table)) {
+        mixed_counts_agree = false;
+      }
+    }
+    const double naive_count = TimeBest(2, [&] {
+      for (const DenialConstraint& dc : mixed) {
+        (void)CountViolationsNaive(dc, tax.table);
+      }
+    });
+    const double composite_count = TimeBest(2, [&] {
+      for (const DenialConstraint& dc : mixed) {
+        (void)CountViolations(dc, tax.table);
+      }
+    });
+    records.push_back({"mixed_count_naive", n, 1, naive_count});
+    records.push_back({"mixed_count_composite", n, 1, composite_count});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "mixed_count", n,
+                naive_count, composite_count, naive_count / composite_count);
+    auto run_indices = [&] (bool naive) {
+      int64_t sum = 0;
+      for (const DenialConstraint& dc : mixed) {
+        auto index = naive ? MakeNaiveViolationIndex(dc)
+                           : MakeViolationIndex(dc);
+        for (size_t i = 0; i < tax.table.num_rows(); ++i) {
+          sum += index->CountNew(tax.table.row(i));
+          index->AddRow(tax.table.row(i));
+        }
+      }
+      return sum;
+    };
+    int64_t naive_sum = 0;
+    int64_t composite_sum = 0;
+    const double naive_index =
+        TimeBest(2, [&] { naive_sum = run_indices(true); });
+    const double composite_index =
+        TimeBest(2, [&] { composite_sum = run_indices(false); });
+    if (naive_sum != composite_sum) mixed_counts_agree = false;
+    records.push_back({"mixed_index_naive", n, 1, naive_index});
+    records.push_back({"mixed_index_composite", n, 1, composite_index});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "mixed_index", n,
+                naive_index, composite_index, naive_index / composite_index);
+  }
+  std::printf("\nmixed-DC composite vs naive counts: %s\n",
+              mixed_counts_agree ? "IDENTICAL (exact)" : "MISMATCH");
   runtime::SetGlobalNumThreads(0);
 
   WriteBenchJson("BENCH_parallel.json", records);
-  return deterministic && shards_deterministic && order_counts_agree ? 0 : 1;
+  return deterministic && shards_deterministic && order_counts_agree &&
+                 mixed_counts_agree
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -95,8 +95,20 @@ struct KaminoOptions {
   /// Re-sample budget of the shard-merge reconciliation pass: at most this
   /// many rows with remaining cross-shard violations are re-scored (and
   /// possibly re-valued) against the merged instance. Hard FDs are always
-  /// canonicalized exactly afterwards, regardless of the budget.
+  /// canonicalized exactly afterwards, regardless of the budget. Only
+  /// consulted when `adaptive_merge_budget` is false (the fixed
+  /// override); the adaptive mode derives its own budget.
   size_t shard_merge_resamples = 64;
+
+  /// When true (the default), the reconciliation budget scales with the
+  /// observed cross-shard conflict count (a couple of unit repairs per
+  /// conflicted row) instead of the fixed `shard_merge_resamples` knob,
+  /// and the repair sweep stops early once consecutive repairs stop
+  /// reducing the weighted violation penalty. Deterministic: the conflict
+  /// set and penalties are pure functions of (seed, num_shards), so the
+  /// output contract is unchanged. Set to false to restore the fixed
+  /// budget.
+  bool adaptive_merge_budget = true;
 
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;

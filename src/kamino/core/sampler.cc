@@ -653,6 +653,38 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   const Schema& schema = model.schema();
   const size_t n = out->num_rows();
 
+  // Soft-DC merge telemetry: the weighted penalty sum_soft w * violations
+  // over the concatenated instance, measured before and after the
+  // reconciliation. Only soft DCs with subquadratic counting paths (FD
+  // grouping, sorted order scans, the composite engine, unary) are
+  // measured — a kGeneral-shaped soft DC would pay two O(n^2) pair scans
+  // just to fill a telemetry field, which could dominate the merge it is
+  // measuring. The measurement itself is surfaced in merge_soft_seconds.
+  auto soft_measurable = [](const WeightedConstraint& wc) {
+    // Decompose() classifies unary DCs as kUnary, so they stay measurable.
+    return !wc.hard && wc.dc.Decompose().shape !=
+                           PredicateDecomposition::Shape::kGeneral;
+  };
+  const bool any_soft =
+      std::any_of(constraints.begin(), constraints.end(), soft_measurable);
+  auto soft_penalty = [&]() {
+    double penalty = 0.0;
+    for (const WeightedConstraint& wc : constraints) {
+      if (!soft_measurable(wc)) continue;
+      penalty +=
+          wc.weight * static_cast<double>(CountViolations(wc.dc, *out));
+    }
+    return penalty;
+  };
+  double soft_before = 0.0;
+  if (any_soft) {
+    const auto t0 = std::chrono::steady_clock::now();
+    soft_before = soft_penalty();
+    telemetry->merge_soft_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
   // Hard (possibly equality-scoped) order DCs are reconciled by rank
   // alignment (step 4) instead of per-row re-sampling: each shard's
   // internally monotone relation disagrees with the others', and no
@@ -747,10 +779,21 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   std::vector<bool> attr_modified(schema.size(), false);
 
   // --- Step 2: bounded re-sample repair against the merged instance. ---
-  size_t budget = options.shard_merge_resamples;
+  // Adaptive mode scales the budget with the observed conflict set (a
+  // couple of unit repairs per conflicted row, floored so tiny conflict
+  // sets still get a useful sweep) and additionally cuts the sweep short
+  // once consecutive repairs stop reducing the weighted violation
+  // penalty; the fixed knob is kept as the non-adaptive override.
+  constexpr size_t kMergeNoGainStreak = 8;
+  size_t budget = options.adaptive_merge_budget
+                      ? 16 + 2 * offenders.size()
+                      : options.shard_merge_resamples;
+  telemetry->merge_budget = static_cast<int64_t>(budget);
+  size_t no_gain_streak = 0;
+  bool swept_dry = false;
   const runtime::RngStream merge_stream(merge_seed);
   for (const auto& [row, dcs] : offenders) {
-    if (budget == 0) break;
+    if (budget == 0 || swept_dry) break;
     // The units at which the conflicted DCs activate, ascending.
     std::vector<size_t> units;
     for (size_t l : dcs) {
@@ -815,15 +858,19 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
       // wins ties, so the choice is deterministic) instead of sampling —
       // the row already went through its shard's sampled draw; this pass
       // only exists to undo cross-shard damage.
+      const double penalty_before =
+          FullTablePenalty(out->row(row), row, *out, active, constraints);
       size_t pick = 0;
       double best = -std::numeric_limits<double>::infinity();
+      double best_penalty = penalty_before;
       for (size_t c = 0; c < candidates.size(); ++c) {
         ApplyCandidateToRow(unit, candidates[c], &scratch);
-        const double score =
-            std::log(candidates[c].prob + 1e-300) -
+        const double penalty =
             FullTablePenalty(scratch, row, *out, active, constraints);
+        const double score = std::log(candidates[c].prob + 1e-300) - penalty;
         if (score > best) {
           best = score;
+          best_penalty = penalty;
           pick = c;
         }
       }
@@ -833,6 +880,18 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
       }
       ++telemetry->merge_resamples;
       --budget;
+      if (options.adaptive_merge_budget) {
+        // Early stop: a long run of repairs that leave the weighted
+        // penalty where it was means the remaining conflicts are not
+        // single-row-repairable (steps 3/4 handle the hard ones exactly).
+        if (best_penalty < penalty_before - 1e-12) {
+          no_gain_streak = 0;
+        } else if (++no_gain_streak >= kMergeNoGainStreak) {
+          ++telemetry->merge_early_stops;
+          swept_dry = true;
+          break;
+        }
+      }
     }
   }
 
@@ -968,6 +1027,14 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   // undo step 3; re-canonicalize so the hard-FD contract holds
   // unconditionally (the affected order DC then stays best-effort).
   if (realigned_fd_attr) canonicalize_hard_fds();
+
+  if (any_soft) {
+    const auto t0 = std::chrono::steady_clock::now();
+    telemetry->merge_soft_penalty_delta = soft_before - soft_penalty();
+    telemetry->merge_soft_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
   return Status::OK();
 }
 

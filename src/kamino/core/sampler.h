@@ -38,6 +38,23 @@ struct SynthesisTelemetry {
   int64_t merge_conflict_rows = 0;
   /// Re-samples spent by the bounded reconciliation repair.
   int64_t merge_resamples = 0;
+  /// Re-sample budget the reconciliation sweep resolved to (the fixed
+  /// `shard_merge_resamples` knob, or the adaptively scaled value derived
+  /// from the conflict count when `adaptive_merge_budget` is on).
+  int64_t merge_budget = 0;
+  /// Reconciliation sweeps cut short because consecutive repairs stopped
+  /// reducing the weighted violation penalty (adaptive mode only).
+  int64_t merge_early_stops = 0;
+  /// Weighted soft-DC violation penalty removed by the shard merge:
+  /// sum over soft DCs of weight * violations, measured before minus
+  /// after reconciliation (positive = the merge also helped soft DCs;
+  /// zero when the run has no soft DCs). Soft DCs whose decomposition is
+  /// `kGeneral` are excluded — counting those costs an O(n^2) pair scan,
+  /// too much to pay twice for a telemetry field.
+  double merge_soft_penalty_delta = 0.0;
+  /// Wall-clock seconds spent measuring the soft-DC penalty around the
+  /// merge (included in `merge_seconds`).
+  double merge_soft_seconds = 0.0;
   /// Cells rewritten by the final hard-FD canonicalization sweep.
   int64_t merge_fd_rewrites = 0;
   /// Cells moved by the hard-order-DC rank alignment (a permutation of

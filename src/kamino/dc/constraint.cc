@@ -327,6 +327,112 @@ std::optional<GroupedOrderSpec> DenialConstraint::AsGroupedOrderSpec() const {
   return spec;
 }
 
+PredicateDecomposition DenialConstraint::Decompose() const {
+  using Shape = PredicateDecomposition::Shape;
+  PredicateDecomposition d;
+  if (is_unary_) {
+    d.shape = Shape::kUnary;
+    return d;
+  }
+  // Fold every predicate into a per-attribute allowed set for
+  // delta = sign(t1.A - t2.A), as a 3-bit mask (bit 0: delta = -1,
+  // bit 1: delta = 0, bit 2: delta = +1). Predicates with t2 on the left
+  // are mirrored into the t1 orientation first. First-mention order is
+  // kept so the decomposition is deterministic.
+  std::vector<std::pair<size_t, uint8_t>> per_attr;
+  auto slot = [&per_attr](size_t attr) -> uint8_t& {
+    for (auto& [a, mask] : per_attr) {
+      if (a == attr) return mask;
+    }
+    per_attr.emplace_back(attr, uint8_t{0b111});
+    return per_attr.back().second;
+  };
+  for (const Predicate& p : predicates_) {
+    if (p.rhs_is_constant || p.lhs_attr != p.rhs_attr ||
+        p.lhs_tuple == p.rhs_tuple) {
+      return d;  // constants / cross-attribute / same-tuple: kGeneral
+    }
+    const bool t1_lhs = p.lhs_tuple == 0;
+    uint8_t mask = 0;
+    switch (p.op) {
+      case CompareOp::kEq:
+        mask = 0b010;
+        break;
+      case CompareOp::kNe:
+        mask = 0b101;
+        break;
+      case CompareOp::kLt:
+        mask = t1_lhs ? 0b001 : 0b100;
+        break;
+      case CompareOp::kGt:
+        mask = t1_lhs ? 0b100 : 0b001;
+        break;
+      case CompareOp::kLe:
+        mask = t1_lhs ? 0b011 : 0b110;
+        break;
+      case CompareOp::kGe:
+        mask = t1_lhs ? 0b110 : 0b011;
+        break;
+    }
+    slot(p.lhs_attr) &= mask;
+  }
+  std::vector<OrderResidual> orders;
+  for (const auto& [attr, mask] : per_attr) {
+    switch (mask) {
+      case 0b000:  // e.g. == with !=, or opposite strict orders
+        d.shape = Shape::kNeverFires;
+        return d;
+      case 0b010:
+        d.scope_attrs.push_back(attr);
+        break;
+      case 0b101:
+        d.ne_attrs.push_back(attr);
+        break;
+      case 0b100:
+        orders.push_back({attr, ResidualKind::kStrictOrder, +1});
+        break;
+      case 0b001:
+        orders.push_back({attr, ResidualKind::kStrictOrder, -1});
+        break;
+      case 0b110:
+        orders.push_back({attr, ResidualKind::kNonStrictOrder, +1});
+        break;
+      case 0b011:
+        orders.push_back({attr, ResidualKind::kNonStrictOrder, -1});
+        break;
+      default:  // 0b111 cannot occur: the attr was touched by a predicate
+        break;
+    }
+  }
+  if (orders.size() == 1) {
+    // Symmetric-operator orientation: for an unordered pair, a lone
+    // strict order residual holds in some orientation exactly when the
+    // values differ (== an inequation), and a lone non-strict residual
+    // holds in some orientation always (vacuous): drop it.
+    if (orders[0].kind == ResidualKind::kStrictOrder) {
+      d.ne_attrs.push_back(orders[0].attr);
+    }
+    orders.clear();
+  }
+  if (orders.size() > 2) {
+    // >= 3 order-shaped residuals would need multi-dimensional dominance
+    // counting; out of the composite class.
+    d.scope_attrs.clear();
+    d.ne_attrs.clear();
+    return d;
+  }
+  std::sort(d.scope_attrs.begin(), d.scope_attrs.end());
+  std::sort(d.ne_attrs.begin(), d.ne_attrs.end());
+  if (d.ne_attrs.size() > kMaxInequationResiduals) {
+    d.scope_attrs.clear();
+    d.ne_attrs.clear();
+    return d;
+  }
+  d.order_residuals = std::move(orders);
+  d.shape = Shape::kComposite;
+  return d;
+}
+
 std::string DenialConstraint::ToString(const Schema& schema) const {
   std::ostringstream os;
   os << "!(";

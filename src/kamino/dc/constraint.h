@@ -69,6 +69,81 @@ struct GroupedOrderSpec {
   }
 };
 
+/// Canonical kind of one non-equality residual in a decomposed binary DC
+/// (see `PredicateDecomposition`).
+enum class ResidualKind {
+  kInequation,     // t1.A != t2.A (orientation-free)
+  kStrictOrder,    // t1.A > t2.A or t1.A < t2.A, tuple-normalized
+  kNonStrictOrder  // t1.A >= t2.A or t1.A <= t2.A, tuple-normalized
+};
+
+/// One order-shaped residual of a decomposed binary DC: the *net*
+/// comparison constraint on a single attribute after merging every
+/// predicate that mentions it. `direction` is +1 when the normalized form
+/// is `t1.attr > t2.attr` (or `>=`) and -1 for `<` (`<=`) — predicates
+/// written with t2 on the left are mirrored first (tuple-variable swap).
+struct OrderResidual {
+  size_t attr = 0;
+  ResidualKind kind = ResidualKind::kStrictOrder;
+  int direction = 1;
+};
+
+/// Inequation residuals above this count make the inclusion–exclusion
+/// composite engine more expensive than it is worth (2^k signed terms);
+/// such DCs fall back to the naive pair scan.
+inline constexpr size_t kMaxInequationResiduals = 4;
+
+/// Canonical predicate decomposition of a DC (`DenialConstraint::
+/// Decompose`): every binary DC whose predicates are cross-tuple
+/// same-attribute comparisons reduces to an *equality scope* (the pair
+/// must agree on `scope_attrs`) times a set of residuals — `!=`
+/// inequations plus at most one order residual pair. The normalization
+/// folds each attribute's predicates into one allowed set of
+/// sign(t1.A - t2.A) values, which applies these rules:
+///
+///  - tuple-variable swap: `t2.A < t1.A` is rewritten as `t1.A > t2.A`
+///    (and unordered-pair violation is invariant under swapping t1/t2 in
+///    *all* predicates at once, so only relative directions matter);
+///  - contradictions (`==` with `!=`, `==` with a strict order, opposite
+///    strict orders) make the conjunction unsatisfiable: shape
+///    `kNeverFires`, zero violations on any instance;
+///  - redundancy: `!=` plus an order on the same attribute keeps only the
+///    (strictified) order; duplicated predicates collapse;
+///  - symmetric-operator orientation: a *lone* strict order residual is
+///    equivalent to an inequation for unordered pairs (some orientation
+///    satisfies it exactly when the values differ), and a lone non-strict
+///    order residual is vacuous (some orientation always satisfies it) —
+///    so `order_residuals` is either empty or exactly a pair.
+///
+/// The `!=` residual itself counts as "equality minus diagonal": pairs in
+/// the scope group minus pairs that also agree on the attribute, which is
+/// what lets the composite engine count every shape with hash groups and
+/// sorted rank sweeps (see dc/violations.cc).
+struct PredicateDecomposition {
+  /// Capability report: which violation-counting fast path applies.
+  enum class Shape {
+    kUnary,       // single-tuple DC; no pair semantics
+    kNeverFires,  // unsatisfiable conjunction: never violates anything
+    kComposite,   // scope x residuals; subquadratic composite engine
+    kGeneral,     // outside the composite class; naive pair scan only
+  };
+
+  Shape shape = Shape::kGeneral;
+  /// Cross-tuple equality scope, sorted ascending.
+  std::vector<size_t> scope_attrs;
+  /// Inequation residual attributes, sorted ascending (size <=
+  /// kMaxInequationResiduals when shape == kComposite).
+  std::vector<size_t> ne_attrs;
+  /// Empty or exactly two residuals (strict/non-strict in any mix), in
+  /// first-mention predicate order.
+  std::vector<OrderResidual> order_residuals;
+
+  /// True when violations are countable without a quadratic pair scan.
+  bool subquadratic() const {
+    return shape == Shape::kComposite || shape == Shape::kNeverFires;
+  }
+};
+
 /// A denial constraint phi: "for all t1, t2: NOT (P1 & ... & Pm)".
 ///
 /// Parsed from a compact textual syntax, e.g.
@@ -131,6 +206,15 @@ class DenialConstraint {
   /// Struct-valued form of `AsGroupedOrderPair`, bundling the match with
   /// the rank/orientation helpers the sorted violation scans use.
   std::optional<GroupedOrderSpec> AsGroupedOrderSpec() const;
+
+  /// Canonical predicate decomposition (see `PredicateDecomposition`):
+  /// normalizes the DC into equality scope x residuals and reports which
+  /// violation-counting fast path applies. Every DC whose predicates are
+  /// cross-tuple same-attribute comparisons with at most two order-shaped
+  /// residual attributes (and at most `kMaxInequationResiduals`
+  /// inequations) is `kComposite`; constants, cross-attribute
+  /// comparisons, and wider order residuals are `kGeneral`.
+  PredicateDecomposition Decompose() const;
 
   /// Round-trips the DC back to source syntax.
   std::string ToString(const Schema& schema) const;

@@ -42,6 +42,15 @@ struct FdKeyHash {
   }
 };
 
+/// Projects `row` onto `attrs` as a hashable group key — the one key
+/// construction every grouped index and count in this file shares.
+FdKey RowKey(const Row& row, const std::vector<size_t>& attrs) {
+  FdKey key;
+  key.values.reserve(attrs.size());
+  for (size_t a : attrs) key.values.push_back(row[a]);
+  return key;
+}
+
 /// Counts violating unordered pairs of an FD-shaped DC by grouping: within
 /// an LHS group of size g whose RHS value multiplicities are c_v, the
 /// violating pairs are C(g,2) - sum_v C(c_v,2).
@@ -52,10 +61,7 @@ int64_t CountFdViolations(const std::vector<size_t>& lhs, size_t rhs,
       groups;
   for (size_t i = 0; i < table.num_rows(); ++i) {
     const Row& row = table.row(i);
-    FdKey key;
-    key.values.reserve(lhs.size());
-    for (size_t a : lhs) key.values.push_back(row[a]);
-    ++groups[key][row[rhs]];
+    ++groups[RowKey(row, lhs)][row[rhs]];
   }
   int64_t violations = 0;
   for (const auto& [key, rhs_counts] : groups) {
@@ -154,12 +160,7 @@ class FdViolationIndex : public ViolationIndex {
     std::unordered_map<Value, int64_t, ValueHash> rhs_counts;
   };
 
-  FdKey KeyOf(const Row& row) const {
-    FdKey key;
-    key.values.reserve(lhs_.size());
-    for (size_t a : lhs_) key.values.push_back(row[a]);
-    return key;
-  }
+  FdKey KeyOf(const Row& row) const { return RowKey(row, lhs_); }
 
   std::vector<size_t> lhs_;
   size_t rhs_;
@@ -322,11 +323,9 @@ std::vector<std::vector<OrderPoint>> GroupOrderPoints(
   std::unordered_map<FdKey, std::vector<OrderPoint>, FdKeyHash> by_group;
   for (size_t i = 0; i < table.num_rows(); ++i) {
     const Row& row = table.row(i);
-    FdKey key;
-    key.values.reserve(spec.group_attrs.size());
-    for (size_t a : spec.group_attrs) key.values.push_back(row[a]);
-    by_group[key].push_back({spec.ContextKey(row[spec.x_attr]),
-                             spec.OrientedKey(row[spec.y_attr]), i});
+    by_group[RowKey(row, spec.group_attrs)].push_back(
+        {spec.ContextKey(row[spec.x_attr]), spec.OrientedKey(row[spec.y_attr]),
+         i});
   }
   std::vector<std::vector<OrderPoint>> groups;
   groups.reserve(by_group.size());
@@ -624,16 +623,309 @@ class OrderViolationIndex : public ViolationIndex {
   }
 
   FdKey KeyOf(const Row& row) const {
-    FdKey key;
-    key.values.reserve(spec_.group_attrs.size());
-    for (size_t a : spec_.group_attrs) key.values.push_back(row[a]);
-    return key;
+    return RowKey(row, spec_.group_attrs);
   }
 
   GroupedOrderSpec spec_;
   size_t num_rows_ = 0;
   std::unordered_map<FdKey, Group, FdKeyHash> groups_;
 };
+
+// ---------------------------------------------------------------------------
+// Composite engine for decomposed binary DCs.
+//
+// `DenialConstraint::Decompose` reduces a DC to (equality scope) x
+// (inequation residuals + at most one order residual pair). The engine
+// expands that into a *signed term plan*: inclusion–exclusion over the
+// inequation subsets ("equality minus diagonal") turns every count into a
+// signed sum of two primitive block kinds — hash-group counts of pairs
+// agreeing on a key, and strict-inversion counts within key groups (the
+// GroupedOrderSpec geometry above). All blocks are exact integer counters,
+// so every composite count is bit-identical to the naive pair scan.
+// ---------------------------------------------------------------------------
+
+/// One signed term of the composite plan: a scope block (pairs agreeing
+/// on `key_attrs`) or an order block (strict inversions in the
+/// `order.group_attrs` groups).
+struct CompositeTerm {
+  int sign = 1;
+  bool is_order = false;
+  std::vector<size_t> key_attrs;  // scope-block key (is_order == false)
+  GroupedOrderSpec order;         // order-block geometry (is_order == true)
+};
+
+/// Expands a `kComposite` decomposition into its signed term plan.
+///
+/// Within an equality-scope group, write delta_A = sign of (first row's A
+/// minus second row's A) for a pair bound in a fixed orientation. The
+/// pair violates when some orientation sign s in {+1, -1} satisfies every
+/// residual: every inequation attr has delta != 0, and every order
+/// residual with direction d has delta = s*d (strict) or delta in
+/// {0, s*d} (non-strict). Inequations are eliminated first by
+/// inclusion–exclusion over the subsets S of `ne_attrs`, each term
+/// extending the scope key by S with sign (-1)^|S|. The remaining order
+/// geometry has three cases (with r = d_x * d_y the direction product):
+///  - two strict: violation iff delta_y = r * delta_x != 0 — the pair
+///    strictly co-moves (r = +1) or strictly anti-moves (r = -1): one
+///    order block with co_monotone = (r == -1).
+///  - strict x + non-strict y: s is forced by x, so violation iff
+///    delta_x != 0 and (delta_y = 0 or delta_y = r * delta_x):
+///    agree(key + y) - agree(key + x + y) plus one order block with
+///    co_monotone = (r == -1).
+///  - two non-strict: some orientation works unless both deltas are
+///    nonzero with delta_y = -r * delta_x: agree(key) minus one order
+///    block with co_monotone = (r == +1).
+std::vector<CompositeTerm> CompositeTermPlan(const PredicateDecomposition& d) {
+  std::vector<CompositeTerm> plan;
+  auto key_with = [&d](size_t mask, std::initializer_list<size_t> extra) {
+    std::vector<size_t> key = d.scope_attrs;
+    for (size_t i = 0; i < d.ne_attrs.size(); ++i) {
+      if ((mask >> i) & 1) key.push_back(d.ne_attrs[i]);
+    }
+    key.insert(key.end(), extra);
+    std::sort(key.begin(), key.end());
+    return key;
+  };
+  auto scope_term = [&plan](int sign, std::vector<size_t> key) {
+    CompositeTerm t;
+    t.sign = sign;
+    t.key_attrs = std::move(key);
+    plan.push_back(std::move(t));
+  };
+  auto order_term = [&plan](int sign, std::vector<size_t> key, size_t x,
+                            size_t y, bool co_monotone) {
+    CompositeTerm t;
+    t.sign = sign;
+    t.is_order = true;
+    t.order.group_attrs = std::move(key);
+    t.order.x_attr = x;
+    t.order.y_attr = y;
+    t.order.co_monotone = co_monotone;
+    plan.push_back(std::move(t));
+  };
+  const size_t subsets = size_t{1} << d.ne_attrs.size();
+  for (size_t mask = 0; mask < subsets; ++mask) {
+    int bits = 0;
+    for (size_t i = 0; i < d.ne_attrs.size(); ++i) bits += (mask >> i) & 1;
+    const int sign = bits % 2 == 0 ? 1 : -1;
+    if (d.order_residuals.empty()) {
+      scope_term(sign, key_with(mask, {}));
+      continue;
+    }
+    const OrderResidual& o0 = d.order_residuals[0];
+    const OrderResidual& o1 = d.order_residuals[1];
+    const int r = o0.direction * o1.direction;
+    const bool strict0 = o0.kind == ResidualKind::kStrictOrder;
+    const bool strict1 = o1.kind == ResidualKind::kStrictOrder;
+    if (strict0 && strict1) {
+      order_term(sign, key_with(mask, {}), o0.attr, o1.attr, r == -1);
+    } else if (!strict0 && !strict1) {
+      scope_term(sign, key_with(mask, {}));
+      order_term(-sign, key_with(mask, {}), o0.attr, o1.attr, r == 1);
+    } else {
+      const OrderResidual& hard = strict0 ? o0 : o1;
+      const OrderResidual& soft = strict0 ? o1 : o0;
+      scope_term(sign, key_with(mask, {soft.attr}));
+      scope_term(-sign, key_with(mask, {hard.attr, soft.attr}));
+      order_term(sign, key_with(mask, {}), hard.attr, soft.attr, r == -1);
+    }
+  }
+  return plan;
+}
+
+/// Hash-group block of the composite engine: `CountNew` is the number of
+/// committed rows agreeing with the probe on `key_attrs` (the whole
+/// prefix for an empty key), `CountAgainst` the cross pairs sharing a
+/// key.
+class ScopeCountIndex : public ViolationIndex {
+ public:
+  explicit ScopeCountIndex(std::vector<size_t> key_attrs)
+      : key_attrs_(std::move(key_attrs)) {}
+
+  int64_t CountNew(const Row& row) const override {
+    auto it = counts_.find(KeyOf(row));
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  void AddRow(const Row& row) override {
+    ++counts_[KeyOf(row)];
+    ++num_rows_;
+  }
+
+  void Merge(const ViolationIndex& other) override {
+    const auto* peer = dynamic_cast<const ScopeCountIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "Merge across index types";
+    for (const auto& [key, count] : peer->counts_) counts_[key] += count;
+    num_rows_ += peer->num_rows_;
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    const auto* peer = dynamic_cast<const ScopeCountIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "CountAgainst across index types";
+    int64_t count = 0;
+    for (const auto& [key, mine] : counts_) {
+      auto it = peer->counts_.find(key);
+      if (it != peer->counts_.end()) count += mine * it->second;
+    }
+    return count;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  FdKey KeyOf(const Row& row) const { return RowKey(row, key_attrs_); }
+
+  std::vector<size_t> key_attrs_;
+  size_t num_rows_ = 0;
+  std::unordered_map<FdKey, int64_t, FdKeyHash> counts_;
+};
+
+/// Index for DCs whose decomposed conjunction is unsatisfiable
+/// (Shape::kNeverFires): nothing ever violates, only the row count is
+/// tracked.
+class NeverViolationIndex : public ViolationIndex {
+ public:
+  int64_t CountNew(const Row& row) const override {
+    (void)row;
+    return 0;
+  }
+
+  void AddRow(const Row& row) override {
+    (void)row;
+    ++num_rows_;
+  }
+
+  void Merge(const ViolationIndex& other) override {
+    KAMINO_CHECK(dynamic_cast<const NeverViolationIndex*>(&other) != nullptr)
+        << "Merge across index types";
+    num_rows_ += other.size();
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    (void)other;
+    return 0;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  size_t num_rows_ = 0;
+};
+
+/// Incremental index for composite (mixed-shape) binary DCs: the signed
+/// sum of scope/order blocks per the inclusion–exclusion term plan.
+/// `CountNew`/`CountAgainst` sum the blocks' counts with their signs —
+/// individual terms may over-count, but the signed total is exactly the
+/// unordered violating-pair count, bit-identical to the naive probe —
+/// and `AddRow`/`Merge` feed every block.
+class CompositeViolationIndex : public ViolationIndex {
+ public:
+  explicit CompositeViolationIndex(const PredicateDecomposition& d) {
+    for (CompositeTerm& t : CompositeTermPlan(d)) {
+      signs_.push_back(t.sign);
+      if (t.is_order) {
+        blocks_.push_back(
+            std::make_unique<OrderViolationIndex>(std::move(t.order)));
+      } else {
+        blocks_.push_back(
+            std::make_unique<ScopeCountIndex>(std::move(t.key_attrs)));
+      }
+    }
+  }
+
+  int64_t CountNew(const Row& row) const override {
+    int64_t count = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      count += signs_[i] * blocks_[i]->CountNew(row);
+    }
+    return count;
+  }
+
+  void AddRow(const Row& row) override {
+    for (auto& block : blocks_) block->AddRow(row);
+    ++num_rows_;
+  }
+
+  void Merge(const ViolationIndex& other) override {
+    const auto* peer = dynamic_cast<const CompositeViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "Merge across index types";
+    KAMINO_CHECK(peer->blocks_.size() == blocks_.size())
+        << "Merge across different composite plans";
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i]->Merge(*peer->blocks_[i]);
+    }
+    num_rows_ += peer->num_rows_;
+  }
+
+  int64_t CountAgainst(const ViolationIndex& other) const override {
+    const auto* peer = dynamic_cast<const CompositeViolationIndex*>(&other);
+    KAMINO_CHECK(peer != nullptr) << "CountAgainst across index types";
+    KAMINO_CHECK(peer->blocks_.size() == blocks_.size())
+        << "CountAgainst across different composite plans";
+    int64_t count = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      count += signs_[i] * blocks_[i]->CountAgainst(*peer->blocks_[i]);
+    }
+    return count;
+  }
+
+  size_t size() const override { return num_rows_; }
+
+ private:
+  std::vector<int> signs_;
+  std::vector<std::unique_ptr<ViolationIndex>> blocks_;
+  size_t num_rows_ = 0;
+};
+
+/// Pairs agreeing on `key_attrs` (all pairs for an empty key): the
+/// offline form of a scope block.
+int64_t CountScopedPairs(const std::vector<size_t>& key_attrs,
+                         const Table& table) {
+  std::unordered_map<FdKey, int64_t, FdKeyHash> counts;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    ++counts[RowKey(table.row(i), key_attrs)];
+  }
+  int64_t pairs = 0;
+  for (const auto& [key, count] : counts) pairs += PairsOf(count);
+  return pairs;
+}
+
+/// O(2^k * n log n) full violation count of a composite DC.
+int64_t CountCompositeViolations(const PredicateDecomposition& d,
+                                 const Table& table) {
+  int64_t total = 0;
+  for (const CompositeTerm& t : CompositeTermPlan(d)) {
+    total += t.sign * (t.is_order ? CountOrderViolations(t.order, table)
+                                  : CountScopedPairs(t.key_attrs, table));
+  }
+  return total;
+}
+
+/// Per-row violation counts of a composite DC (its column of the
+/// violation matrix): signed per-term columns — group size minus one
+/// (the row itself) for scope terms, the two-pass Fenwick sweep for
+/// order terms. Exact integers throughout.
+void CompositeViolationColumn(const PredicateDecomposition& d,
+                              const Table& table,
+                              std::vector<int64_t>* column) {
+  const size_t n = table.num_rows();
+  column->assign(n, 0);
+  std::vector<int64_t> term_column;
+  for (const CompositeTerm& t : CompositeTermPlan(d)) {
+    if (t.is_order) {
+      OrderViolationColumn(t.order, table, &term_column);
+      for (size_t i = 0; i < n; ++i) {
+        (*column)[i] += t.sign * term_column[i];
+      }
+      continue;
+    }
+    std::unordered_map<FdKey, int64_t, FdKeyHash> counts;
+    for (size_t i = 0; i < n; ++i) ++counts[RowKey(table.row(i), t.key_attrs)];
+    for (size_t i = 0; i < n; ++i) {
+      (*column)[i] += t.sign * (counts[RowKey(table.row(i), t.key_attrs)] - 1);
+    }
+  }
+}
 
 }  // namespace
 
@@ -688,6 +980,11 @@ int64_t CountViolations(const DenialConstraint& dc, const Table& table) {
   if (dc.AsFd(&lhs, &rhs)) return CountFdViolations(lhs, rhs, table);
   std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
   if (order.has_value()) return CountOrderViolations(*order, table);
+  const PredicateDecomposition decomp = dc.Decompose();
+  if (decomp.shape == PredicateDecomposition::Shape::kNeverFires) return 0;
+  if (decomp.shape == PredicateDecomposition::Shape::kComposite) {
+    return CountCompositeViolations(decomp, table);
+  }
   return CountViolationsNaive(dc, table);
 }
 
@@ -753,6 +1050,22 @@ std::vector<std::vector<double>> BuildViolationMatrix(
       });
       continue;
     }
+    const PredicateDecomposition decomp = dc.Decompose();
+    if (decomp.shape == PredicateDecomposition::Shape::kNeverFires) {
+      continue;  // the conjunction is unsatisfiable: the column is zero
+    }
+    if (decomp.shape == PredicateDecomposition::Shape::kComposite) {
+      // Composite (mixed-shape) binary DC — equality scope, inequation
+      // residuals, optional order residual pair: signed hash-group and
+      // Fenwick sweeps instead of the O(n^2) pair scan. Exact integers,
+      // so the column matches the pair scan bit for bit.
+      std::vector<int64_t> column;
+      CompositeViolationColumn(decomp, table, &column);
+      runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
+        matrix[i][l] = static_cast<double>(column[i]);
+      });
+      continue;
+    }
     // Each chunk of outer rows scans its i < j pairs into a private column
     // so rows i and j of a violating pair never race, then folds it into
     // the matrix under a lock and frees it — live memory stays bounded by
@@ -796,6 +1109,26 @@ std::unique_ptr<ViolationIndex> MakeViolationIndex(
   std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
   if (order.has_value()) {
     return std::make_unique<OrderViolationIndex>(std::move(*order));
+  }
+  const PredicateDecomposition decomp = dc.Decompose();
+  using Shape = PredicateDecomposition::Shape;
+  if (decomp.shape == Shape::kNeverFires) {
+    return std::make_unique<NeverViolationIndex>();
+  }
+  if (decomp.shape == Shape::kComposite) {
+    if (decomp.order_residuals.empty() && decomp.ne_attrs.size() == 1) {
+      // Normalized FD / pure-inequation shape (e.g. a lone strict order
+      // turned inequation, or an FD with no syntactic equality LHS): the
+      // FD hash index computes exactly scope minus diagonal — an empty
+      // scope key is one global group.
+      return std::make_unique<FdViolationIndex>(decomp.scope_attrs,
+                                                decomp.ne_attrs[0]);
+    }
+    // Everything else — including normalized grouped-order shapes the
+    // syntactic matcher missed — goes through the composite plan (for a
+    // pure two-strict-order shape that plan is a single order block, so
+    // the direction-to-co_monotone convention lives in one place).
+    return std::make_unique<CompositeViolationIndex>(decomp);
   }
   return std::make_unique<NaiveViolationIndex>(dc);
 }

@@ -30,7 +30,9 @@ double PairsOfDouble(int64_t m);
 ///   violates when either binding orientation fires).
 /// Uses the FD grouping fast path for FD-shaped DCs, an O(n log n)
 /// sort + Fenwick-tree inversion count for (equality-scoped) order DCs,
-/// and the naive O(n^2) scan otherwise.
+/// the inclusion–exclusion composite engine for every other DC whose
+/// decomposition is `kComposite` (mixed equality + `!=` + order shapes),
+/// zero for `kNeverFires`, and the naive O(n^2) scan otherwise.
 int64_t CountViolations(const DenialConstraint& dc, const Table& table);
 
 /// Forces the naive scan (reference implementation; used by tests to check
@@ -52,12 +54,14 @@ int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
 /// number of violations of DC l caused by tuple i with respect to all other
 /// tuples of `table`.
 ///
-/// FD-shaped DCs hash-partition to O(n) and (equality-scoped) order DCs
-/// use a sorted scan with two Fenwick-tree passes (O(n log n)); the
-/// remaining binary DCs pair-scan on the global runtime pool
-/// (kamino/runtime/): chunk-private partial columns merge in fixed order
-/// with exact integer sums, so the matrix is bit-identical to the pair
-/// scan at any thread count.
+/// FD-shaped DCs hash-partition to O(n), (equality-scoped) order DCs
+/// use a sorted scan with two Fenwick-tree passes (O(n log n)), and every
+/// other DC with a `kComposite` decomposition gets signed per-term
+/// hash-group / Fenwick columns (inclusion–exclusion over its inequation
+/// residuals); only `kGeneral` binary DCs still pair-scan on the global
+/// runtime pool (kamino/runtime/): chunk-private partial columns merge in
+/// fixed order with exact integer sums, so the matrix is bit-identical to
+/// the pair scan at any thread count.
 std::vector<std::vector<double>> BuildViolationMatrix(
     const Table& table, const std::vector<WeightedConstraint>& constraints);
 
@@ -65,11 +69,15 @@ std::vector<std::vector<double>> BuildViolationMatrix(
 /// added as their relevant attributes get filled, and candidate rows can be
 /// scored for the number of *new* violations they would introduce.
 ///
-/// Implementations: an O(1) hash-group index for FD-shaped DCs, a trivial
+/// Implementations: an O(1) hash-group index for FD-shaped DCs (including
+/// decomposition-normalized FD equivalents and pure-`!=` DCs), a trivial
 /// evaluator for unary DCs, a sorted block-list index for (equality-
 /// scoped) order DCs (sub-linear `CountNew`, Fenwick-tree `Merge`/
-/// `CountAgainst` sweeps), and a prefix-scan fallback for the remaining
-/// general binary DCs.
+/// `CountAgainst` sweeps), a composite index for the remaining DCs with a
+/// `kComposite` decomposition (a signed inclusion–exclusion sum of
+/// hash-group and order blocks — see `PredicateDecomposition`), a
+/// zero-reporting index for `kNeverFires` conjunctions, and a prefix-scan
+/// fallback for `kGeneral` binary DCs.
 ///
 /// Indices are *mergeable*: the shard-parallel sampler builds one index per
 /// shard and folds them together in fixed shard order with `Merge`, using

@@ -196,6 +196,68 @@ TEST(ShardedSamplerTest, ShardedRunsAreReproducible) {
   EXPECT_EQ(a.telemetry.merge_fd_rewrites, b.telemetry.merge_fd_rewrites);
 }
 
+TEST(ShardedSamplerTest, AdaptiveMergeBudgetScalesWithConflicts) {
+  BenchmarkDataset ds = MakeAdultLike(100, 13);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  auto run = [&](bool adaptive, size_t fixed_budget) {
+    KaminoConfig config;
+    config.options.non_private = true;
+    config.options.iterations = 8;
+    config.options.mcmc_resamples = 40;
+    config.options.seed = 77;
+    config.options.num_shards = 4;
+    config.options.adaptive_merge_budget = adaptive;
+    config.options.shard_merge_resamples = fixed_budget;
+    auto result = RunKamino(ds.table, constraints, config);
+    KAMINO_CHECK(result.ok()) << result.status();
+    runtime::SetGlobalNumThreads(0);
+    return std::move(result).TakeValue();
+  };
+  // Fixed override: the resolved budget is exactly the knob.
+  const KaminoResult fixed = run(/*adaptive=*/false, 24);
+  EXPECT_EQ(fixed.telemetry.merge_budget, 24);
+  EXPECT_EQ(fixed.telemetry.merge_early_stops, 0);
+  // Adaptive: the budget is derived from the observed conflict set, and
+  // the run stays deterministic (same seed + shards => same table and
+  // same resolved budget).
+  const KaminoResult a = run(/*adaptive=*/true, 24);
+  EXPECT_EQ(a.telemetry.merge_budget,
+            16 + 2 * a.telemetry.merge_conflict_rows);
+  const KaminoResult b = run(/*adaptive=*/true, 24);
+  ExpectSameTable(a.synthetic, b.synthetic);
+  EXPECT_EQ(a.telemetry.merge_budget, b.telemetry.merge_budget);
+  EXPECT_EQ(a.telemetry.merge_early_stops, b.telemetry.merge_early_stops);
+  // Soft-DC merge telemetry is populated (Adult has no soft DCs, so the
+  // delta is exactly zero and no measurement time is booked).
+  EXPECT_DOUBLE_EQ(fixed.telemetry.merge_soft_penalty_delta, 0.0);
+}
+
+TEST(ShardedSamplerTest, SoftDcMergeTelemetryMeasuresPenaltyDelta) {
+  // Adult DCs flipped soft: the merge telemetry must report the weighted
+  // soft-DC penalty delta of the reconciliation (any sign) and book the
+  // measurement time.
+  BenchmarkDataset ds = MakeAdultLike(100, 13);
+  std::vector<bool> soft(ds.hardness.size(), false);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, soft, ds.table.schema()).TakeValue();
+  KaminoConfig config;
+  config.options.non_private = true;
+  config.options.iterations = 8;
+  config.options.seed = 77;
+  config.options.num_shards = 4;
+  auto result = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  runtime::SetGlobalNumThreads(0);
+  EXPECT_GT(result.value().telemetry.merge_soft_seconds, 0.0);
+  // Deterministic: the delta is a pure function of (seed, num_shards).
+  auto again = RunKamino(ds.table, constraints, config);
+  ASSERT_TRUE(again.ok()) << again.status();
+  runtime::SetGlobalNumThreads(0);
+  EXPECT_DOUBLE_EQ(result.value().telemetry.merge_soft_penalty_delta,
+                   again.value().telemetry.merge_soft_penalty_delta);
+}
+
 TEST(ShardedSamplerTest, ShardCountIsClampedToRows) {
   BenchmarkDataset ds = MakeTpchLike(60, 21);
   auto constraints =

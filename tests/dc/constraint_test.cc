@@ -245,6 +245,113 @@ TEST(ConstraintTest, ParseConstraintsBatch) {
           .ok());
 }
 
+using Shape = PredicateDecomposition::Shape;
+
+PredicateDecomposition Decompose(const char* spec) {
+  return DenialConstraint::Parse(spec, TestSchema()).TakeValue().Decompose();
+}
+
+TEST(PredicateDecompositionTest, ClassifiesCanonicalShapes) {
+  // FD shape: equality scope + one inequation residual.
+  PredicateDecomposition fd =
+      Decompose("!(t1.edu == t2.edu & t1.edu_num != t2.edu_num)");
+  EXPECT_EQ(fd.shape, Shape::kComposite);
+  EXPECT_EQ(fd.scope_attrs, std::vector<size_t>{0});
+  EXPECT_EQ(fd.ne_attrs, std::vector<size_t>{1});
+  EXPECT_TRUE(fd.order_residuals.empty());
+  EXPECT_TRUE(fd.subquadratic());
+
+  // Grouped order shape: scope + two strict residuals.
+  PredicateDecomposition order =
+      Decompose("!(t1.edu == t2.edu & t1.gain > t2.gain & t1.loss < t2.loss)");
+  EXPECT_EQ(order.shape, Shape::kComposite);
+  EXPECT_EQ(order.scope_attrs, std::vector<size_t>{0});
+  EXPECT_TRUE(order.ne_attrs.empty());
+  ASSERT_EQ(order.order_residuals.size(), 2u);
+  EXPECT_EQ(order.order_residuals[0].attr, 2u);
+  EXPECT_EQ(order.order_residuals[0].kind, ResidualKind::kStrictOrder);
+  EXPECT_EQ(order.order_residuals[0].direction, 1);
+  EXPECT_EQ(order.order_residuals[1].attr, 3u);
+  EXPECT_EQ(order.order_residuals[1].direction, -1);
+
+  // Mixed: scope + order pair + inequation.
+  PredicateDecomposition mixed = Decompose(
+      "!(t1.edu == t2.edu & t1.gain > t2.gain & t1.loss < t2.loss & "
+      "t1.age != t2.age)");
+  EXPECT_EQ(mixed.shape, Shape::kComposite);
+  EXPECT_EQ(mixed.ne_attrs, std::vector<size_t>{4});
+  EXPECT_EQ(mixed.order_residuals.size(), 2u);
+
+  // Unary DCs have no pair decomposition.
+  EXPECT_EQ(Decompose("!(t1.age > 10 & t1.gain > 5)").shape, Shape::kUnary);
+}
+
+TEST(PredicateDecompositionTest, NormalizesTupleSwapAndLoneOrders) {
+  // t2-on-the-left spellings mirror into the t1 orientation.
+  PredicateDecomposition mirrored =
+      Decompose("!(t2.gain < t1.gain & t2.loss > t1.loss)");
+  EXPECT_EQ(mirrored.shape, Shape::kComposite);
+  ASSERT_EQ(mirrored.order_residuals.size(), 2u);
+  EXPECT_EQ(mirrored.order_residuals[0].direction, 1);   // gain: t1 > t2
+  EXPECT_EQ(mirrored.order_residuals[1].direction, -1);  // loss: t1 < t2
+
+  // A lone strict order residual is an inequation for unordered pairs.
+  PredicateDecomposition lone_strict =
+      Decompose("!(t1.edu == t2.edu & t1.gain > t2.gain)");
+  EXPECT_EQ(lone_strict.shape, Shape::kComposite);
+  EXPECT_EQ(lone_strict.ne_attrs, std::vector<size_t>{2});
+  EXPECT_TRUE(lone_strict.order_residuals.empty());
+
+  // A lone non-strict order residual is vacuous for unordered pairs.
+  PredicateDecomposition lone_soft =
+      Decompose("!(t1.edu == t2.edu & t1.gain >= t2.gain)");
+  EXPECT_EQ(lone_soft.shape, Shape::kComposite);
+  EXPECT_TRUE(lone_soft.ne_attrs.empty());
+  EXPECT_TRUE(lone_soft.order_residuals.empty());
+
+  // != plus a strict order on the same attribute keeps only the order
+  // (here it stays lone, so it ends as an inequation again).
+  PredicateDecomposition redundant =
+      Decompose("!(t1.gain != t2.gain & t1.gain > t2.gain)");
+  EXPECT_EQ(redundant.shape, Shape::kComposite);
+  EXPECT_EQ(redundant.ne_attrs, std::vector<size_t>{2});
+
+  // != plus a non-strict order strictifies: the pair {>=, !=} means >.
+  PredicateDecomposition strictified = Decompose(
+      "!(t1.gain >= t2.gain & t1.gain != t2.gain & t1.loss < t2.loss)");
+  EXPECT_EQ(strictified.shape, Shape::kComposite);
+  ASSERT_EQ(strictified.order_residuals.size(), 2u);
+  EXPECT_EQ(strictified.order_residuals[0].kind, ResidualKind::kStrictOrder);
+  EXPECT_EQ(strictified.order_residuals[1].kind, ResidualKind::kStrictOrder);
+}
+
+TEST(PredicateDecompositionTest, ReportsUnsatisfiableAndGeneralShapes) {
+  EXPECT_EQ(Decompose("!(t1.gain > t2.gain & t1.gain < t2.gain)").shape,
+            Shape::kNeverFires);
+  EXPECT_EQ(Decompose("!(t1.edu == t2.edu & t1.edu != t2.edu)").shape,
+            Shape::kNeverFires);
+  EXPECT_EQ(
+      Decompose("!(t1.gain == t2.gain & t1.gain >= t2.gain & "
+                "t1.gain != t2.gain)")
+          .shape,
+      Shape::kNeverFires);
+  EXPECT_TRUE(Decompose("!(t1.gain > t2.gain & t1.gain < t2.gain)")
+                  .subquadratic());
+
+  // Constants, cross-attribute comparisons, and three order-shaped
+  // residuals stay outside the composite class.
+  EXPECT_EQ(Decompose("!(t1.age > 10 & t1.gain > t2.gain)").shape,
+            Shape::kGeneral);
+  EXPECT_EQ(Decompose("!(t1.gain > t2.loss & t1.age != t2.age)").shape,
+            Shape::kGeneral);
+  EXPECT_EQ(
+      Decompose("!(t1.gain > t2.gain & t1.loss > t2.loss & t1.age > t2.age)")
+          .shape,
+      Shape::kGeneral);
+  EXPECT_FALSE(
+      Decompose("!(t1.age > 10 & t1.gain > t2.gain)").subquadratic());
+}
+
 TEST(ConstraintTest, AsFdRejectsNonFdShapes) {
   const Schema schema = TestSchema();
   // Two inequations: not an FD.

@@ -16,6 +16,7 @@
 #include "bench/harness.h"
 #include "kamino/dc/violations.h"
 #include "kamino/runtime/thread_pool.h"
+#include "kamino/service/engine.h"
 
 namespace kamino::bench {
 namespace {
@@ -300,9 +301,84 @@ int Main() {
               mixed_counts_agree ? "IDENTICAL (exact)" : "MISMATCH");
   runtime::SetGlobalNumThreads(0);
 
+  // --- Hot path 7: the session engine (fit-once / synthesize-many). ---
+  // One fit amortizes over N synthesis requests: the break-even point vs
+  // N full RunKamino calls is fit/(fit_per_run_saved) = 1, i.e. every
+  // request past the first gets the entire fit for free. Also measures
+  // the streaming time-to-first-chunk on a 4-shard job — the latency a
+  // row consumer sees before the job itself completes.
+  bool service_deterministic = true;
+  {
+    KaminoEngine engine;
+    KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
+    const double fit_start = Now();
+    auto model = engine.Fit(ds.table, constraints, config);
+    const double fit_seconds = Now() - fit_start;
+    KAMINO_CHECK(model.ok()) << model.status();
+    records.push_back({"service_fit", rows, 1, fit_seconds});
+
+    constexpr int kRequests = 4;
+    double synthesize_seconds = 0.0;
+    std::printf("\n%-28s %8s %12s\n", "method", "request", "seconds");
+    std::printf("%-28s %8s %12.4f\n", "service_fit", "-", fit_seconds);
+    for (int i = 0; i < kRequests; ++i) {
+      SynthesisRequest request;
+      request.seed = 100 + static_cast<uint64_t>(i);
+      const double t0 = Now();
+      auto result = engine.Synthesize(model.value(), request);
+      KAMINO_CHECK(result.ok()) << result.status();
+      const double secs = Now() - t0;
+      synthesize_seconds += secs;
+      records.push_back({"service_synthesize", rows, 1, secs});
+      std::printf("%-28s %8d %12.4f\n", "service_synthesize", i, secs);
+      // Identical requests must reproduce identical instances.
+      auto again = engine.Synthesize(model.value(), request);
+      KAMINO_CHECK(again.ok()) << again.status();
+      if (!SameTable(result.value().synthetic, again.value().synthetic)) {
+        service_deterministic = false;
+      }
+    }
+    std::printf(
+        "%-28s %8d %12.4f  (vs %.4f for %d full runs)\n",
+        "service_session_total", kRequests, fit_seconds + synthesize_seconds,
+        static_cast<double>(kRequests) *
+            (fit_seconds + synthesize_seconds / kRequests),
+        kRequests);
+
+    // Streaming: wall clock to the first delivered chunk vs job total.
+    struct FirstChunkSink : RowSink {
+      double start = 0.0;
+      double first_chunk = -1.0;
+      size_t chunks = 0;
+      Status OnChunk(const TableChunk&) override {
+        if (first_chunk < 0.0) first_chunk = Now() - start;
+        ++chunks;
+        return Status::OK();
+      }
+    };
+    FirstChunkSink sink;
+    SynthesisRequest streaming;
+    streaming.seed = 7;
+    streaming.num_shards = 4;
+    streaming.sink = &sink;
+    streaming.collect_table = false;
+    sink.start = Now();
+    auto job = engine.Submit(model.value(), streaming);
+    auto job_result = job->Wait();
+    const double job_seconds = Now() - sink.start;
+    KAMINO_CHECK(job_result.ok()) << job_result.status();
+    KAMINO_CHECK(sink.chunks == 4u) << "streaming run lost chunks";
+    records.push_back({"stream_first_chunk_shards4", rows, 1,
+                       sink.first_chunk});
+    records.push_back({"stream_job_total_shards4", rows, 1, job_seconds});
+    std::printf("%-28s %8s %12.4f  (job total %.4f)\n",
+                "stream_first_chunk", "s=4", sink.first_chunk, job_seconds);
+  }
+  runtime::SetGlobalNumThreads(0);
+
   WriteBenchJson("BENCH_parallel.json", records);
   return deterministic && shards_deterministic && order_counts_agree &&
-                 mixed_counts_agree
+                 mixed_counts_agree && service_deterministic
              ? 0
              : 1;
 }

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

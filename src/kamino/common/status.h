@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kNotImplemented,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -64,6 +65,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

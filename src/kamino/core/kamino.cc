@@ -1,120 +1,49 @@
 #include "kamino/core/kamino.h"
 
-#include <chrono>
-#include <limits>
+#include <utility>
 
-#include "kamino/core/model.h"
-#include "kamino/core/params.h"
-#include "kamino/core/sequencing.h"
-#include "kamino/core/weights.h"
-#include "kamino/runtime/thread_pool.h"
+#include "kamino/core/pipeline.h"
 
 namespace kamino {
-namespace {
 
-class PhaseTimer {
- public:
-  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
-
-  /// Seconds since construction or the last Lap call.
-  double Lap() {
-    const auto now = std::chrono::steady_clock::now();
-    const double seconds =
-        std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return seconds;
+Status KaminoConfig::Validate() const {
+  if (!options.non_private) {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument(
+          "KaminoConfig.epsilon must be > 0 on a private run (set "
+          "options.non_private for the epsilon = infinity ablation)");
+    }
+    if (!(delta > 0.0) || delta >= 1.0) {
+      return Status::InvalidArgument(
+          "KaminoConfig.delta must be in (0, 1) on a private run");
+    }
   }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
+  return options.Validate();
+}
 
 Result<KaminoResult> RunKamino(
     const Table& data, const std::vector<WeightedConstraint>& constraints,
     const KaminoConfig& config) {
-  if (data.num_rows() == 0) {
-    return Status::InvalidArgument("input instance is empty");
-  }
-  // Configure the parallel runtime for this run. Output is bit-identical
-  // at any budget (parallel regions key randomness by task index and
-  // reduce in fixed order), so the knob trades wall clock only.
-  runtime::SetGlobalNumThreads(config.options.num_threads);
+  // Fit (lines 2-5: all the privacy spend) ...
+  KAMINO_ASSIGN_OR_RETURN(FitArtifacts fitted,
+                          FitPipeline(data, constraints, config));
 
-  Rng rng(config.options.seed);
   KaminoResult result;
-  PhaseTimer timer;
-  result.timings.num_threads = runtime::GlobalNumThreads();
+  result.sequence = fitted.sequence;
+  result.dc_weights = fitted.dc_weights;
+  result.resolved_options = fitted.resolved_options;
+  result.epsilon_spent = fitted.epsilon_spent;
+  result.timings = fitted.fit_timings;
 
-  // Line 2: schema sequencing (Algorithm 4) - no privacy cost.
-  result.sequence = config.options.random_sequence
-                        ? RandomSequence(data.schema(), &rng)
-                        : SequenceSchema(data.schema(), constraints);
-  result.timings.sequencing = timer.Lap();
-
-  // Decide whether weight learning will run: only when requested and some
-  // constraint is soft.
-  bool learn_weights = false;
-  if (config.learn_weights) {
-    for (const WeightedConstraint& wc : constraints) {
-      if (!wc.hard) learn_weights = true;
-    }
-  }
-
-  // Line 3: parameter search (Algorithm 6) - no privacy cost (schema and
-  // domain are public).
-  KaminoOptions options = config.options;
-  if (!options.non_private) {
-    KAMINO_ASSIGN_OR_RETURN(
-        options, SearchDpParameters(config.epsilon, config.delta,
-                                    data.schema(), result.sequence,
-                                    data.num_rows(), learn_weights,
-                                    config.options));
-  }
-  result.resolved_options = options;
-  result.timings.parameter_search = timer.Lap();
-
-  // Line 4: model training (Algorithm 2) - Gaussian mechanism + DP-SGD.
-  KAMINO_ASSIGN_OR_RETURN(
-      ProbabilisticDataModel model,
-      ProbabilisticDataModel::Train(data, result.sequence, options, &rng));
-  result.timings.training = timer.Lap();
-
-  // Line 5: DC weight learning (Algorithm 5) - sampled Gaussian mechanism.
-  std::vector<WeightedConstraint> weighted = constraints;
-  if (learn_weights) {
-    KAMINO_ASSIGN_OR_RETURN(
-        result.dc_weights,
-        LearnDcWeights(data, constraints, result.sequence, options, &rng));
-    for (size_t l = 0; l < weighted.size(); ++l) {
-      if (!weighted[l].hard) weighted[l].weight = result.dc_weights[l];
-    }
-  } else {
-    result.dc_weights.reserve(constraints.size());
-    for (const WeightedConstraint& wc : constraints) {
-      result.dc_weights.push_back(wc.EffectiveWeight());
-    }
-  }
-  result.timings.violation_matrix = timer.Lap();
-
-  // Line 6: constraint-aware sampling (Algorithm 3) - post-processing.
-  const size_t n =
-      config.output_rows == 0 ? data.num_rows() : config.output_rows;
+  // ... then sample (line 6: pure post-processing) with the default spec,
+  // which resumes the fit's RNG snapshot — together bit-identical to the
+  // monolithic pre-split pipeline.
+  SampleSpec spec;
+  spec.num_rows = config.output_rows;
   KAMINO_ASSIGN_OR_RETURN(
       result.synthetic,
-      Synthesize(model, weighted, n, options, &rng, &result.telemetry));
-  result.timings.sampling = timer.Lap();
-  result.timings.shard_merge = result.telemetry.merge_seconds;
-  result.timings.num_shards = result.telemetry.num_shards;
-
-  result.epsilon_spent =
-      options.non_private
-          ? std::numeric_limits<double>::infinity()
-          : PrivacyCostEpsilon(options, data.num_rows(),
-                               model.num_histogram_units(),
-                               model.num_discriminative_units(),
-                               learn_weights, config.delta);
+      SamplePipeline(fitted, spec, /*hooks=*/nullptr, &result.telemetry,
+                     &result.timings));
   return result;
 }
 

@@ -75,6 +75,13 @@ struct KaminoConfig {
   /// Base hyper-parameters; the DP subset is overridden by the parameter
   /// search unless `options.non_private` is set.
   KaminoOptions options;
+
+  /// Rejects nonsensical configurations — a non-positive privacy budget
+  /// on a private run, `delta` outside (0, 1), or any `options` knob that
+  /// fails `KaminoOptions::Validate()` — with InvalidArgument instead of
+  /// silently misbehaving. `RunKamino` and `KaminoEngine::Fit` check this
+  /// on entry.
+  Status Validate() const;
 };
 
 /// Runs the full pipeline: sequencing (Algorithm 4), parameter search
@@ -82,11 +89,22 @@ struct KaminoConfig {
 /// (Algorithm 5, when requested and soft DCs are present) and
 /// constraint-aware sampling (Algorithm 3).
 ///
+/// A thin composition of the two pipeline stages (core/pipeline.h):
+/// `FitPipeline` + `SamplePipeline` with the default `SampleSpec`,
+/// bit-identical to the pre-split monolithic implementation. Callers that
+/// synthesize more than one instance from the same data should use the
+/// session API (`kamino/service/engine.h`) instead — sampling is pure
+/// post-processing, so a single fit's privacy budget amortizes over every
+/// additional synthesis request.
+///
 /// `options.num_threads` configures the process-wide parallel runtime
 /// (kamino/runtime/). Concurrent RunKamino calls are safe — an in-flight
 /// run keeps a reference to the pool it started on even if another run
 /// resizes the budget — but the budget itself is global: the last caller
-/// to set it wins for subsequently started parallel regions.
+/// to set it wins for subsequently started parallel regions. This
+/// contract is exercised for real by the overlapping-jobs test in
+/// tests/service/engine_test.cc: two concurrent jobs at different
+/// budgets must both reproduce their single-run outputs bit for bit.
 ///
 /// `options.num_shards` partitions the sampling phase into shard-parallel
 /// slices (see core/sampler.h). The synthetic instance is a pure function

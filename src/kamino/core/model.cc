@@ -154,11 +154,12 @@ Result<ProbabilisticDataModel> ProbabilisticDataModel::Train(
     return Status::InvalidArgument("sequence arity != schema arity");
   }
   ProbabilisticDataModel model;
-  model.schema_ = &data.schema();
+  model.schema_ = std::make_shared<const Schema>(data.schema());
+  const Schema& schema = *model.schema_;
   model.sequence_ = sequence;
   model.shared_store_ =
-      std::make_unique<EncoderStore>(data.schema(), options.embed_dim, rng);
-  model.units_ = PlanUnits(data.schema(), sequence, options);
+      std::make_unique<EncoderStore>(schema, options.embed_dim, rng);
+  model.units_ = PlanUnits(schema, sequence, options);
 
   // Histogram units (Gaussian mechanism) always train on this thread.
   for (ModelUnit& unit : model.units_) {
@@ -173,7 +174,7 @@ Result<ProbabilisticDataModel> ProbabilisticDataModel::Train(
     // embeddings trained for earlier context re-seed later sub-models.
     for (ModelUnit& unit : model.units_) {
       if (unit.kind != ModelUnit::Kind::kDiscriminative) continue;
-      TrainDiscriminativeUnit(data, data.schema(), options,
+      TrainDiscriminativeUnit(data, schema, options,
                               model.shared_store_.get(), &unit,
                               rng->NextSeed());
     }
@@ -191,12 +192,12 @@ Result<ProbabilisticDataModel> ProbabilisticDataModel::Train(
       const uint64_t seed = rng->NextSeed();
       Rng init_rng(seed);
       unit.private_store = std::make_unique<EncoderStore>(
-          data.schema(), options.embed_dim, &init_rng);
+          schema, options.embed_dim, &init_rng);
       discriminative.push_back(&unit);
       seeds.push_back(seed);
     }
     runtime::ParallelForEach(0, discriminative.size(), 1, [&](size_t u) {
-      TrainDiscriminativeUnit(data, data.schema(), options,
+      TrainDiscriminativeUnit(data, schema, options,
                               discriminative[u]->private_store.get(),
                               discriminative[u], seeds[u] ^ 0x9e3779b9);
     });

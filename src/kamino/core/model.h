@@ -53,6 +53,10 @@ struct ModelUnit {
 /// chain of units in schema-sequence order, plus the shared encoder store.
 class ProbabilisticDataModel {
  public:
+  /// An empty, untrained model (no units). Exists so fitted-artifact
+  /// aggregates can be declared before `Train` fills them in.
+  ProbabilisticDataModel() = default;
+
   /// Algorithm 2 (TrainModel): partitions the sequence into units (applying
   /// the grouping and large-domain optimizations per `options`), releases
   /// noisy histograms with the Gaussian mechanism and trains each
@@ -79,9 +83,10 @@ class ProbabilisticDataModel {
   size_t num_discriminative_units() const;
 
  private:
-  ProbabilisticDataModel() = default;
-
-  const Schema* schema_ = nullptr;
+  /// The model owns a heap copy of the training schema (stable address
+  /// under moves), so a fitted model never dangles into the input table —
+  /// sessions may release the private instance right after `Train`.
+  std::shared_ptr<const Schema> schema_;
   std::vector<size_t> sequence_;
   std::vector<ModelUnit> units_;
   std::unique_ptr<EncoderStore> shared_store_;

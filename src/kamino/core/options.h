@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "kamino/common/status.h"
+
 namespace kamino {
 
 /// Every knob of the Kamino pipeline: learning hyper-parameters, the DP
@@ -110,8 +112,24 @@ struct KaminoOptions {
   /// budget.
   bool adaptive_merge_budget = true;
 
+  /// When true (the default), the shard-merge reconciliation sweep repairs
+  /// conflict rows in descending order of their weighted soft-DC penalty
+  /// contribution (ties and soft-free runs fall back to row order), so the
+  /// bounded budget is spent where it lowers the measured penalty most.
+  /// Set to false for the pre-session-API row-order sweep. Deterministic
+  /// either way: the ordering is a pure function of the merged instance,
+  /// which is itself a pure function of (seed, num_shards).
+  bool soft_penalty_merge_order = true;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
+
+  /// Rejects nonsensical knob combinations (non-positive quantize_bins,
+  /// zero-try accept-reject budgets, non-positive noise scales on a
+  /// private run, ...) with InvalidArgument instead of letting the
+  /// pipeline silently misbehave. Checked at the RunKamino / engine Fit
+  /// entry points; lower-level stages trust their inputs.
+  Status Validate() const;
 };
 
 }  // namespace kamino

@@ -1,0 +1,154 @@
+#include "kamino/core/pipeline.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "kamino/core/params.h"
+#include "kamino/core/sequencing.h"
+#include "kamino/core/weights.h"
+#include "kamino/runtime/thread_pool.h"
+
+namespace kamino {
+namespace {
+
+class PhaseTimer {
+ public:
+  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last Lap call.
+  double Lap() {
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return seconds;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Result<FitArtifacts> FitPipeline(
+    const Table& data, const std::vector<WeightedConstraint>& constraints,
+    const KaminoConfig& config) {
+  KAMINO_RETURN_IF_ERROR(config.Validate());
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("input instance is empty");
+  }
+  // Configure the parallel runtime for this run. Output is bit-identical
+  // at any budget (parallel regions key randomness by task index and
+  // reduce in fixed order), so the knob trades wall clock only.
+  runtime::SetGlobalNumThreads(config.options.num_threads);
+
+  Rng rng(config.options.seed);
+  FitArtifacts fitted;
+  PhaseTimer timer;
+  fitted.input_rows = data.num_rows();
+  fitted.fit_timings.num_threads = runtime::GlobalNumThreads();
+
+  // Line 2: schema sequencing (Algorithm 4) - no privacy cost.
+  fitted.sequence = config.options.random_sequence
+                        ? RandomSequence(data.schema(), &rng)
+                        : SequenceSchema(data.schema(), constraints);
+  fitted.fit_timings.sequencing = timer.Lap();
+
+  // Decide whether weight learning will run: only when requested and some
+  // constraint is soft.
+  bool learn_weights = false;
+  if (config.learn_weights) {
+    for (const WeightedConstraint& wc : constraints) {
+      if (!wc.hard) learn_weights = true;
+    }
+  }
+
+  // Line 3: parameter search (Algorithm 6) - no privacy cost (schema and
+  // domain are public).
+  KaminoOptions options = config.options;
+  if (!options.non_private) {
+    KAMINO_ASSIGN_OR_RETURN(
+        options, SearchDpParameters(config.epsilon, config.delta,
+                                    data.schema(), fitted.sequence,
+                                    data.num_rows(), learn_weights,
+                                    config.options));
+  }
+  fitted.resolved_options = options;
+  fitted.fit_timings.parameter_search = timer.Lap();
+
+  // Line 4: model training (Algorithm 2) - Gaussian mechanism + DP-SGD.
+  KAMINO_ASSIGN_OR_RETURN(
+      fitted.model,
+      ProbabilisticDataModel::Train(data, fitted.sequence, options, &rng));
+  fitted.fit_timings.training = timer.Lap();
+
+  // Line 5: DC weight learning (Algorithm 5) - sampled Gaussian mechanism.
+  fitted.weighted = constraints;
+  if (learn_weights) {
+    KAMINO_ASSIGN_OR_RETURN(
+        fitted.dc_weights,
+        LearnDcWeights(data, constraints, fitted.sequence, options, &rng));
+    for (size_t l = 0; l < fitted.weighted.size(); ++l) {
+      if (!fitted.weighted[l].hard) {
+        fitted.weighted[l].weight = fitted.dc_weights[l];
+      }
+    }
+  } else {
+    fitted.dc_weights.reserve(constraints.size());
+    for (const WeightedConstraint& wc : constraints) {
+      fitted.dc_weights.push_back(wc.EffectiveWeight());
+    }
+  }
+  fitted.fit_timings.violation_matrix = timer.Lap();
+
+  fitted.epsilon_spent =
+      options.non_private
+          ? std::numeric_limits<double>::infinity()
+          : PrivacyCostEpsilon(options, data.num_rows(),
+                               fitted.model.num_histogram_units(),
+                               fitted.model.num_discriminative_units(),
+                               learn_weights, config.delta);
+
+  // Snapshot the run RNG: sampling resumes exactly where the fit left
+  // off, so Fit + Sample drains the same stream as the monolithic run.
+  fitted.sampling_engine = rng.engine();
+  return fitted;
+}
+
+Result<Table> SamplePipeline(const FitArtifacts& fitted,
+                             const SampleSpec& spec,
+                             const SynthesisHooks* hooks,
+                             SynthesisTelemetry* telemetry,
+                             PhaseTimings* timings) {
+  KaminoOptions options = fitted.resolved_options;
+  if (spec.num_shards != SampleSpec::kUnset) {
+    options.num_shards = spec.num_shards;
+  }
+  if (spec.num_threads != SampleSpec::kUnset) {
+    options.num_threads = spec.num_threads;
+    runtime::SetGlobalNumThreads(spec.num_threads);
+  }
+  const size_t n = spec.num_rows == 0 ? fitted.input_rows : spec.num_rows;
+
+  // seed == 0 resumes the fit snapshot (the RunKamino-identical stream);
+  // anything else is an independent per-request stream.
+  Rng rng(spec.seed);
+  if (spec.seed == 0) rng.engine() = fitted.sampling_engine;
+
+  SynthesisTelemetry local_telemetry;
+  if (telemetry == nullptr) telemetry = &local_telemetry;
+  PhaseTimer timer;
+  KAMINO_ASSIGN_OR_RETURN(
+      Table out, Synthesize(fitted.model, fitted.weighted, n, options, &rng,
+                            telemetry, hooks));
+  if (timings != nullptr) {
+    timings->sampling = timer.Lap();
+    timings->shard_merge = telemetry->merge_seconds;
+    timings->num_shards = telemetry->num_shards;
+    timings->num_threads = runtime::GlobalNumThreads();
+  }
+  return out;
+}
+
+}  // namespace kamino

@@ -29,6 +29,15 @@ constexpr size_t kMcmcBatchRows = 32;
 /// choice never changes the output.
 constexpr size_t kMinParallelScoreWork = 4096;
 
+/// True unless the hooks carry a cancellation predicate that fired.
+bool KeepGoing(const SynthesisHooks* hooks) {
+  return hooks == nullptr || !hooks->keep_going || hooks->keep_going();
+}
+
+Status CancelledStatus() {
+  return Status::Cancelled("synthesis cancelled by caller");
+}
+
 /// One joint assignment for a unit's attributes, with its model
 /// probability p_{v|c}.
 struct Candidate {
@@ -294,13 +303,16 @@ ActivationMap BuildActivationMap(
 /// callers pass false so each shard stays a serial unit of work and the
 /// pool is fed whole shards instead. `mcmc_resamples` is this shard's
 /// slice of the run-wide `options.mcmc_resamples` budget, so total MCMC
-/// work stays the same at every shard count.
+/// work stays the same at every shard count. `hooks` cancellation is
+/// polled at every column-group boundary; the per-shard progress callback
+/// fires once all rows of the shard are sampled.
 Status SampleShardRows(const ProbabilisticDataModel& model,
                        const std::vector<WeightedConstraint>& constraints,
                        const ActivationMap& activation, size_t n,
                        const KaminoOptions& options, size_t mcmc_resamples,
-                       bool allow_nested_parallel, Rng* rng,
-                       SynthesisTelemetry* telemetry, Table* out_table,
+                       bool allow_nested_parallel, const SynthesisHooks* hooks,
+                       Rng* rng, SynthesisTelemetry* telemetry,
+                       Table* out_table,
                        std::vector<std::unique_ptr<ViolationIndex>>* indices_out) {
   const Schema& schema = model.schema();
   Table& out = *out_table;
@@ -311,6 +323,7 @@ Status SampleShardRows(const ProbabilisticDataModel& model,
   indices.resize(constraints.size());
 
   for (size_t unit_index = 0; unit_index < model.units().size(); ++unit_index) {
+    if (!KeepGoing(hooks)) return CancelledStatus();
     const ModelUnit& unit = model.units()[unit_index];
     // Phi_{A_j}: the DCs whose attributes complete within this unit.
     const std::vector<size_t>& active = activation.unit_active[unit_index];
@@ -566,6 +579,7 @@ Status SampleShardRows(const ProbabilisticDataModel& model,
       }
     }
   }
+  if (hooks != nullptr && hooks->on_rows_sampled) hooks->on_rows_sampled(n);
   return Status::OK();
 }
 
@@ -792,7 +806,40 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   size_t no_gain_streak = 0;
   bool swept_dry = false;
   const runtime::RngStream merge_stream(merge_seed);
+  // Repair order: by default, conflict rows are swept in descending order
+  // of their weighted soft-DC penalty contribution against the merged
+  // instance (ties, and runs without measurable soft DCs, keep ascending
+  // row order), so the bounded budget is spent where it can lower the
+  // penalty most. `soft_penalty_merge_order = false` restores the plain
+  // row-order sweep. Both orders are pure functions of the merged
+  // instance, so the (seed, num_shards) output contract is unchanged.
+  std::vector<std::pair<size_t, const std::vector<size_t>*>> repair_order;
+  repair_order.reserve(offenders.size());
   for (const auto& [row, dcs] : offenders) {
+    repair_order.emplace_back(row, &dcs);
+  }
+  if (options.soft_penalty_merge_order && any_soft && !repair_order.empty()) {
+    std::vector<double> contribution(repair_order.size(), 0.0);
+    for (size_t k = 0; k < repair_order.size(); ++k) {
+      const Row& conflicted = out->row(repair_order[k].first);
+      for (size_t l = 0; l < constraints.size(); ++l) {
+        if (merged[l] == nullptr || !soft_measurable(constraints[l])) continue;
+        contribution[k] += constraints[l].weight *
+                           static_cast<double>(merged[l]->CountNew(conflicted));
+      }
+    }
+    std::vector<size_t> perm(repair_order.size());
+    for (size_t k = 0; k < perm.size(); ++k) perm[k] = k;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      return contribution[a] > contribution[b];
+    });
+    std::vector<std::pair<size_t, const std::vector<size_t>*>> sorted;
+    sorted.reserve(repair_order.size());
+    for (size_t k : perm) sorted.push_back(repair_order[k]);
+    repair_order.swap(sorted);
+  }
+  for (const auto& [row, dcs_ptr] : repair_order) {
+    const std::vector<size_t>& dcs = *dcs_ptr;
     if (budget == 0 || swept_dry) break;
     // The units at which the conflicted DCs activate, ascending.
     std::vector<size_t> units;
@@ -1038,12 +1085,36 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   return Status::OK();
 }
 
+/// Streams the reconciled instance to `hooks->on_chunk` shard by shard:
+/// ascending row offsets, each shard exactly once, tiling [0, n). The
+/// chunks copy their rows out of `out`, so the sink may keep them alive
+/// past the call.
+Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
+                  const std::vector<size_t>& offsets,
+                  const SynthesisHooks* hooks) {
+  if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    if (!KeepGoing(hooks)) return CancelledStatus();
+    TableChunk chunk;
+    chunk.shard = s;
+    chunk.row_offset = offsets[s];
+    chunk.last = s + 1 == sizes.size();
+    chunk.rows = Table(out.schema());
+    for (size_t r = offsets[s]; r < offsets[s] + sizes[s]; ++r) {
+      chunk.rows.AppendRowUnchecked(out.row(r));
+    }
+    KAMINO_RETURN_IF_ERROR(hooks->on_chunk(chunk));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Table> Synthesize(const ProbabilisticDataModel& model,
                          const std::vector<WeightedConstraint>& constraints,
                          size_t n, const KaminoOptions& options, Rng* rng,
-                         SynthesisTelemetry* telemetry) {
+                         SynthesisTelemetry* telemetry,
+                         const SynthesisHooks* hooks) {
   SynthesisTelemetry local_telemetry;
   if (telemetry == nullptr) telemetry = &local_telemetry;
   telemetry->num_threads = runtime::GlobalNumThreads();
@@ -1061,7 +1132,9 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
     std::vector<std::unique_ptr<ViolationIndex>> indices;
     KAMINO_RETURN_IF_ERROR(SampleShardRows(
         model, constraints, activation, n, options, options.mcmc_resamples,
-        /*allow_nested_parallel=*/true, rng, telemetry, &out, &indices));
+        /*allow_nested_parallel=*/true, hooks, rng, telemetry, &out,
+        &indices));
+    KAMINO_RETURN_IF_ERROR(EmitChunks(out, {n}, {0}, hooks));
     return out;
   }
 
@@ -1086,14 +1159,18 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
   KAMINO_RETURN_IF_ERROR(
       runtime::ParallelFor(0, num_shards, 1, [&](size_t lo, size_t hi) {
         for (size_t s = lo; s < hi; ++s) {
+          // Shard boundary: a cancelled job never starts another shard.
+          if (!KeepGoing(hooks)) return CancelledStatus();
           Rng shard_rng(root.SubSeed(s));
           KAMINO_RETURN_IF_ERROR(SampleShardRows(
               model, constraints, activation, sizes[s], options,
-              mcmc_budgets[s], /*allow_nested_parallel=*/false, &shard_rng,
-              &shards[s].telemetry, &shards[s].table, &shards[s].indices));
+              mcmc_budgets[s], /*allow_nested_parallel=*/false, hooks,
+              &shard_rng, &shards[s].telemetry, &shards[s].table,
+              &shards[s].indices));
         }
         return Status::OK();
       }));
+  if (!KeepGoing(hooks)) return CancelledStatus();
 
   // Fixed-order aggregation of rows and telemetry.
   Table out(schema);
@@ -1117,6 +1194,9 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     merge_start)
           .count();
+  // Every row is final once reconciliation returns; stream the shards out
+  // in ascending row-offset order before handing back the full table.
+  KAMINO_RETURN_IF_ERROR(EmitChunks(out, sizes, offsets, hooks));
   return out;
 }
 

@@ -2,14 +2,56 @@
 #define KAMINO_CORE_SAMPLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "kamino/common/status.h"
 #include "kamino/core/model.h"
 #include "kamino/core/options.h"
+#include "kamino/data/table.h"
 #include "kamino/dc/constraint.h"
 
 namespace kamino {
+
+/// A contiguous slice of the synthetic instance, delivered through
+/// `SynthesisHooks::on_chunk` once its rows are final (the shard has
+/// cleared reconciliation — no later pipeline step will rewrite them).
+struct TableChunk {
+  /// Shard that sampled these rows (chunks arrive in ascending shard
+  /// order; a single-shard run delivers exactly one chunk, shard 0).
+  size_t shard = 0;
+  /// Global row index of `rows.row(0)` in the assembled instance.
+  size_t row_offset = 0;
+  /// The slice's rows, in final (reconciled) form.
+  Table rows;
+  /// True on the final chunk of the run — together the chunks tile
+  /// [0, n) without gap or overlap.
+  bool last = false;
+};
+
+/// Observer/control hooks threaded through `Synthesize` by the session
+/// engine (`kamino/service/`). All hooks are optional (leave the
+/// std::function empty); a null hooks pointer means "run to completion,
+/// return only the final table".
+struct SynthesisHooks {
+  /// Cooperative cancellation: polled at every shard boundary and at
+  /// every column-group (model unit) boundary inside a shard, and between
+  /// chunk deliveries. Returning false makes `Synthesize` stop at the
+  /// next poll and return StatusCode::kCancelled. May be invoked
+  /// concurrently from pool workers; implementations must be
+  /// thread-safe (an atomic flag read suffices).
+  std::function<bool()> keep_going;
+  /// Progress: invoked once per shard as soon as that shard's sampling
+  /// loop has produced all of its rows (before merge/reconciliation).
+  /// May be invoked concurrently from pool workers.
+  std::function<void(size_t rows_in_shard)> on_rows_sampled;
+  /// Streaming delivery, called serially from the synthesizing thread:
+  /// chunks arrive in ascending `row_offset` order, each shard exactly
+  /// once, tiling [0, n), every row in final reconciled form, and all
+  /// before `Synthesize` returns. A non-OK return aborts the run with
+  /// that status.
+  std::function<Status(const TableChunk&)> on_chunk;
+};
 
 /// Counters describing one synthesis run (for the optimization
 /// experiments).
@@ -90,10 +132,16 @@ struct SynthesisTelemetry {
 ///
 /// Runs entirely on the learned model - a post-processing step with no
 /// additional privacy cost.
+///
+/// `hooks` (optional) adds cooperative cancellation, per-shard progress
+/// callbacks and streaming chunk delivery — see `SynthesisHooks` for the
+/// delivery-order contract. Passing hooks never changes the synthesized
+/// rows: the hooks observe the run, they do not steer it.
 Result<Table> Synthesize(const ProbabilisticDataModel& model,
                          const std::vector<WeightedConstraint>& constraints,
                          size_t n, const KaminoOptions& options, Rng* rng,
-                         SynthesisTelemetry* telemetry = nullptr);
+                         SynthesisTelemetry* telemetry = nullptr,
+                         const SynthesisHooks* hooks = nullptr);
 
 }  // namespace kamino
 

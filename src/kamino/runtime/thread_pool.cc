@@ -64,6 +64,90 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+JobQueue::JobState JobQueue::Job::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return state_ == JobState::kDone || state_ == JobState::kSkipped;
+  });
+  return state_;
+}
+
+JobQueue::JobState JobQueue::Job::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void JobQueue::Job::SetState(JobState next) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = next;
+  }
+  cv_.notify_all();
+}
+
+JobQueue::JobQueue(size_t num_runners) {
+  const size_t n = std::max<size_t>(1, num_runners);
+  runners_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+}
+
+JobQueue::~JobQueue() {
+  std::deque<std::shared_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  // Queued jobs will never run; release their waiters as skipped. Running
+  // jobs are asked to wind down and then joined below.
+  for (const std::shared_ptr<Job>& job : orphaned) {
+    job->Cancel();
+    job->body_ = nullptr;  // the closure's captures die with the queue
+    job->SetState(JobState::kSkipped);
+  }
+  for (std::thread& r : runners_) r.join();
+}
+
+std::shared_ptr<JobQueue::Job> JobQueue::Submit(JobBody body) {
+  auto job = std::make_shared<Job>();
+  job->body_ = std::move(body);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  cv_.notify_one();
+  return job;
+}
+
+void JobQueue::RunnerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (job->token().cancel_requested()) {
+      // Cancelled while queued: complete as skipped without running.
+      job->body_ = nullptr;
+      job->SetState(JobState::kSkipped);
+      continue;
+    }
+    job->SetState(JobState::kRunning);
+    job->body_(job->token());
+    // Release the closure before signaling completion: a finished job
+    // handle must not pin the body's captures (fitted models, sinks) for
+    // however long the caller keeps it around.
+    job->body_ = nullptr;
+    job->SetState(JobState::kDone);
+  }
+}
+
 void SetGlobalNumThreads(size_t num_threads) {
   std::shared_ptr<ThreadPool> doomed;
   {

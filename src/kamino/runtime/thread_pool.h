@@ -1,6 +1,7 @@
 #ifndef KAMINO_RUNTIME_THREAD_POOL_H_
 #define KAMINO_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,6 +48,101 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Cooperative cancellation flag shared between a job's owner and the
+/// code running it. Copies alias the same flag; reads and writes are
+/// lock-free atomics, so the token may be polled from any thread (pool
+/// workers included) while the owner cancels from another.
+class CancelToken {
+ public:
+  CancelToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; never blocks. Running work
+  /// observes it at its next poll; queued work is skipped at dequeue.
+  void RequestCancel() {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// A FIFO queue of long-running, cancellable jobs with completion
+/// signaling — the substrate of the session engine's async Submit API.
+///
+/// Unlike `ThreadPool` tasks, queue jobs run on dedicated runner threads
+/// (never pool workers), so a job body may block, wait on pool work, and
+/// fan parallel regions onto the global pool without deadlocking it.
+/// `num_runners` bounds how many jobs execute concurrently; the rest wait
+/// queued in submission order.
+class JobQueue {
+ public:
+  /// Lifecycle of one submitted job. Queued -> Running -> Done is the
+  /// normal path; Queued -> Skipped happens when the job is cancelled (or
+  /// the queue destroyed) before a runner picks it up.
+  enum class JobState { kQueued, kRunning, kDone, kSkipped };
+
+  /// The job body; poll `token.cancel_requested()` at convenient
+  /// boundaries to honor cancellation of running jobs.
+  using JobBody = std::function<void(const CancelToken&)>;
+
+  /// Shared handle to one submitted job.
+  class Job {
+   public:
+    /// Requests cancellation: a still-queued job completes as kSkipped
+    /// without running; a running job sees its token at the next poll
+    /// (and still completes as kDone — the body decides what a cancelled
+    /// run produces). Idempotent, never blocks.
+    void Cancel() { token_.RequestCancel(); }
+
+    /// Blocks until the job reaches kDone or kSkipped; returns that state.
+    JobState Wait();
+
+    JobState state() const;
+    const CancelToken& token() const { return token_; }
+
+   private:
+    friend class JobQueue;
+    void SetState(JobState next);
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    JobState state_ = JobState::kQueued;
+    CancelToken token_;
+    JobBody body_;
+  };
+
+  /// Spawns `num_runners` dedicated runner threads (clamped to >= 1).
+  explicit JobQueue(size_t num_runners);
+
+  /// Skips every still-queued job, then joins the runners once running
+  /// jobs finish. Running jobs are left to complete — owners wanting a
+  /// prompt shutdown should Cancel() their outstanding jobs first (the
+  /// session engine's destructor does).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `body` and returns its handle. Jobs start in submission
+  /// order as runners free up.
+  std::shared_ptr<Job> Submit(JobBody body);
+
+  size_t num_runners() const { return runners_.size(); }
+
+ private:
+  void RunnerLoop();
+
+  std::vector<std::thread> runners_;
+  std::deque<std::shared_ptr<Job>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,214 @@
+#include "kamino/service/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace kamino {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+SampleSpec SpecOf(const SynthesisRequest& request) {
+  SampleSpec spec;
+  spec.num_rows = request.num_rows;
+  spec.seed = request.seed;
+  spec.num_shards = request.num_shards;
+  spec.num_threads = request.num_threads;
+  return spec;
+}
+
+}  // namespace
+
+/// Job state shared between the handle, the queue body and the hooks.
+/// Progress fields are lock-free atomics (polled from pool workers);
+/// the result is guarded by `mu` and written exactly once, when the body
+/// finishes.
+struct SynthesisJob::Shared {
+  std::atomic<Phase> phase{Phase::kQueued};
+  std::atomic<size_t> rows_total{0};
+  std::atomic<size_t> rows_sampled{0};
+  std::atomic<size_t> rows_committed{0};
+  std::atomic<size_t> chunks_delivered{0};
+
+  std::mutex mu;
+  Status status;  // non-OK for cancelled/failed jobs
+  SynthesisResult result;
+};
+
+SynthesisJob::Progress SynthesisJob::progress() const {
+  Progress p;
+  p.phase = shared_->phase.load(std::memory_order_relaxed);
+  if (queue_job_->state() == runtime::JobQueue::JobState::kSkipped) {
+    p.phase = Phase::kCancelled;  // cancelled before a runner picked it up
+  }
+  p.rows_total = shared_->rows_total.load(std::memory_order_relaxed);
+  p.rows_sampled = shared_->rows_sampled.load(std::memory_order_relaxed);
+  p.rows_committed = shared_->rows_committed.load(std::memory_order_relaxed);
+  p.chunks_delivered =
+      shared_->chunks_delivered.load(std::memory_order_relaxed);
+  return p;
+}
+
+bool SynthesisJob::finished() const {
+  const Phase phase = progress().phase;
+  return phase == Phase::kDone || phase == Phase::kCancelled ||
+         phase == Phase::kFailed;
+}
+
+void SynthesisJob::Cancel() { queue_job_->Cancel(); }
+
+Result<SynthesisResult> SynthesisJob::Wait() {
+  const runtime::JobQueue::JobState state = queue_job_->Wait();
+  if (state == runtime::JobQueue::JobState::kSkipped) {
+    return Status::Cancelled("synthesis job cancelled before it started");
+  }
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (!shared_->status.ok()) return shared_->status;
+  return shared_->result;  // copy: Wait may be called repeatedly
+}
+
+KaminoEngine::KaminoEngine() : KaminoEngine(Options()) {}
+
+KaminoEngine::KaminoEngine(const Options& options) {
+  runtime::SetGlobalNumThreads(options.num_threads);
+  pool_ = runtime::GlobalThreadPool();
+  jobs_ = std::make_unique<runtime::JobQueue>(options.max_concurrent_jobs);
+}
+
+KaminoEngine::~KaminoEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::weak_ptr<runtime::JobQueue::Job>& weak : submitted_) {
+      if (std::shared_ptr<runtime::JobQueue::Job> job = weak.lock()) {
+        job->Cancel();
+      }
+    }
+  }
+  jobs_.reset();  // skips queued jobs, joins runners
+}
+
+Result<FittedModel> KaminoEngine::Fit(
+    const Table& data, const std::vector<WeightedConstraint>& constraints,
+    const KaminoConfig& config) {
+  KAMINO_ASSIGN_OR_RETURN(FitArtifacts fitted,
+                          FitPipeline(data, constraints, config));
+  return FittedModel(
+      std::make_shared<const FitArtifacts>(std::move(fitted)));
+}
+
+Result<SynthesisResult> KaminoEngine::Synthesize(
+    const FittedModel& model, const SynthesisRequest& request) const {
+  if (!model.valid()) {
+    return Status::InvalidArgument("Synthesize needs a fitted model");
+  }
+  SynthesisHooks hooks;
+  RowSink* sink = request.sink;
+  if (sink != nullptr) {
+    hooks.on_chunk = [sink](const TableChunk& chunk) {
+      return sink->OnChunk(chunk);
+    };
+  }
+  SynthesisResult result;
+  const auto start = std::chrono::steady_clock::now();
+  KAMINO_ASSIGN_OR_RETURN(
+      Table out, SamplePipeline(model.artifacts(), SpecOf(request), &hooks,
+                                &result.telemetry));
+  result.sampling_seconds = SecondsSince(start);
+  if (request.collect_table) result.synthetic = std::move(out);
+  return result;
+}
+
+std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
+    const FittedModel& model, const SynthesisRequest& request) {
+  auto job = std::shared_ptr<SynthesisJob>(new SynthesisJob());
+  auto shared = std::make_shared<SynthesisJob::Shared>();
+  job->shared_ = shared;
+  const size_t rows_total =
+      request.num_rows == 0 && model.valid() ? model.input_rows()
+                                             : request.num_rows;
+  shared->rows_total.store(rows_total, std::memory_order_relaxed);
+
+  job->queue_job_ = jobs_->Submit([shared, model, request](
+                                      const runtime::CancelToken& token) {
+    using Phase = SynthesisJob::Phase;
+    if (!model.valid()) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      shared->status = Status::InvalidArgument("Submit needs a fitted model");
+      shared->phase.store(Phase::kFailed, std::memory_order_relaxed);
+      return;
+    }
+    shared->phase.store(Phase::kSampling, std::memory_order_relaxed);
+
+    SynthesisHooks hooks;
+    hooks.keep_going = [token] { return !token.cancel_requested(); };
+    hooks.on_rows_sampled = [shared](size_t rows) {
+      const size_t sampled =
+          shared->rows_sampled.fetch_add(rows, std::memory_order_relaxed) +
+          rows;
+      if (sampled >=
+          shared->rows_total.load(std::memory_order_relaxed)) {
+        shared->phase.store(SynthesisJob::Phase::kMerging,
+                            std::memory_order_relaxed);
+      }
+    };
+    RowSink* sink = request.sink;
+    if (sink != nullptr) {
+      hooks.on_chunk = [shared, sink](const TableChunk& chunk) {
+        shared->phase.store(SynthesisJob::Phase::kDelivering,
+                            std::memory_order_relaxed);
+        KAMINO_RETURN_IF_ERROR(sink->OnChunk(chunk));
+        shared->rows_committed.fetch_add(chunk.rows.num_rows(),
+                                         std::memory_order_relaxed);
+        shared->chunks_delivered.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      };
+    }
+
+    SynthesisTelemetry telemetry;
+    const auto start = std::chrono::steady_clock::now();
+    Result<Table> out =
+        SamplePipeline(model.artifacts(), SpecOf(request), &hooks,
+                       &telemetry);
+    const double seconds = SecondsSince(start);
+
+    std::lock_guard<std::mutex> lock(shared->mu);
+    if (!out.ok()) {
+      shared->status = out.status();
+      shared->phase.store(out.status().code() == StatusCode::kCancelled
+                              ? Phase::kCancelled
+                              : Phase::kFailed,
+                          std::memory_order_relaxed);
+      return;
+    }
+    shared->result.telemetry = telemetry;
+    shared->result.sampling_seconds = seconds;
+    if (request.collect_table) {
+      shared->result.synthetic = std::move(out).TakeValue();
+    }
+    if (sink == nullptr) {
+      // No streaming: every row commits at completion.
+      shared->rows_committed.store(
+          shared->rows_total.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    shared->phase.store(Phase::kDone, std::memory_order_relaxed);
+  });
+
+  std::lock_guard<std::mutex> lock(mu_);
+  submitted_.erase(
+      std::remove_if(submitted_.begin(), submitted_.end(),
+                     [](const std::weak_ptr<runtime::JobQueue::Job>& weak) {
+                       return weak.expired();
+                     }),
+      submitted_.end());
+  submitted_.push_back(job->queue_job_);
+  return job;
+}
+
+}  // namespace kamino

@@ -1,0 +1,268 @@
+#ifndef KAMINO_SERVICE_ENGINE_H_
+#define KAMINO_SERVICE_ENGINE_H_
+
+// Session-based synthesis API.
+//
+// `RunKamino` re-runs sequencing, parameter search, DP-SGD training and
+// weight learning on every call, even though sampling (Algorithm 3) is
+// pure post-processing with zero privacy cost. `KaminoEngine` splits the
+// pipeline at exactly that line:
+//
+//   KaminoEngine engine;
+//   auto model = engine.Fit(data, constraints, config);      // pays epsilon
+//   auto a = engine.Synthesize(model.value(), {});           // free
+//   SynthesisRequest req;
+//   req.seed = 7;
+//   req.num_shards = 4;
+//   auto job = engine.Submit(model.value(), req);            // async
+//   ...
+//   auto b = job->Wait();
+//
+// One fit's privacy budget amortizes over arbitrarily many synthesis
+// requests, each a pure function of (model, seed, num_shards). Jobs run
+// on a cancellable queue (runtime::JobQueue) with progress snapshots and
+// optional streaming row delivery through a `RowSink`.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kamino/common/logging.h"
+#include "kamino/common/status.h"
+#include "kamino/core/kamino.h"
+#include "kamino/core/pipeline.h"
+#include "kamino/core/sampler.h"
+#include "kamino/data/table.h"
+#include "kamino/dc/constraint.h"
+#include "kamino/runtime/thread_pool.h"
+
+namespace kamino {
+
+/// The immutable artifact of one `KaminoEngine::Fit` call: the trained
+/// probabilistic model, the weighted constraint set, the resolved DP
+/// parameters and the fit's privacy spend. Cheap to copy (a shared
+/// reference), safe to share across threads and engines, and valid after
+/// the fitted data table is released — synthesis never touches the
+/// private instance again.
+class FittedModel {
+ public:
+  /// An empty handle; `valid()` is false until assigned from `Fit`.
+  FittedModel() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Privacy cost of the fit under Theorem 1 (infinity if non-private).
+  /// Synthesis requests add nothing to it.
+  double epsilon_spent() const { return state().epsilon_spent; }
+  /// The DP parameter set Psi the fit resolved (Algorithm 6).
+  const KaminoOptions& resolved_options() const {
+    return state().resolved_options;
+  }
+  /// The schema sequence S chosen by Algorithm 4.
+  const std::vector<size_t>& sequence() const { return state().sequence; }
+  /// Learned (or hardness-implied) weight per input constraint.
+  const std::vector<double>& dc_weights() const {
+    return state().dc_weights;
+  }
+  /// Rows of the fitted instance (the default synthesis size).
+  size_t input_rows() const { return state().input_rows; }
+  /// Wall clock of the fit phases.
+  const PhaseTimings& fit_timings() const { return state().fit_timings; }
+
+  /// The underlying stage artifacts (for callers composing the core
+  /// pipeline directly, e.g. the bench harness).
+  const FitArtifacts& artifacts() const { return state(); }
+
+ private:
+  friend class KaminoEngine;
+  explicit FittedModel(std::shared_ptr<const FitArtifacts> state)
+      : state_(std::move(state)) {}
+
+  /// Every accessor funnels through here so reading an empty handle fails
+  /// loudly instead of dereferencing null.
+  const FitArtifacts& state() const {
+    KAMINO_CHECK(valid()) << "FittedModel accessed before Fit assigned it";
+    return *state_;
+  }
+
+  std::shared_ptr<const FitArtifacts> state_;
+};
+
+/// Receives the synthetic instance incrementally as `TableChunk`s.
+///
+/// Delivery-order guarantee (the streaming contract): chunks arrive in
+/// ascending `row_offset` order, one per shard, exactly once each, tiling
+/// [0, num_rows) without gap or overlap; every delivered row is final —
+/// the shard has cleared merge reconciliation and no later step rewrites
+/// it; all chunks are delivered before the job completes, i.e. `Wait()`
+/// returns only after the last `OnChunk` call has returned. `OnChunk` is
+/// called serially (never two calls in flight) from the job's runner
+/// thread, not from the submitting thread. The sink must outlive the job.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// A non-OK return aborts the job with that status (remaining chunks
+  /// are not delivered).
+  virtual Status OnChunk(const TableChunk& chunk) = 0;
+};
+
+/// One synthesis request against a fitted model. Value-semantics; the
+/// defaults reproduce the fit config's sampling phase exactly.
+struct SynthesisRequest {
+  /// Synthetic rows; 0 means "as many as the fitted instance".
+  size_t num_rows = 0;
+  /// Root seed of the request's sampling randomness. 0 (the default)
+  /// resumes the fit's RNG snapshot — the stream the monolithic
+  /// `RunKamino` sampling phase drew from, so a default request
+  /// reproduces the full run bit for bit. Any other value seeds an
+  /// independent stream: the output is then a pure function of
+  /// (model, seed, resolved num_shards).
+  uint64_t seed = 0;
+  /// Shard override for shard-parallel sampling; kUnset keeps the fitted
+  /// options' count. Part of the output contract (see KaminoOptions).
+  size_t num_shards = SampleSpec::kUnset;
+  /// Thread-budget override; kUnset keeps the process-wide budget. Never
+  /// changes the output, only wall clock. The budget is global: with
+  /// overlapping jobs the last starter wins for newly started parallel
+  /// regions (outputs are unaffected by construction).
+  size_t num_threads = SampleSpec::kUnset;
+  /// Optional streaming delivery (see RowSink for the order guarantee).
+  /// Must outlive the job.
+  RowSink* sink = nullptr;
+  /// When false, the result's `synthetic` table is left empty — rows are
+  /// observable through `sink` only. Saves the final copy for consumers
+  /// that forward chunks elsewhere anyway.
+  bool collect_table = true;
+};
+
+/// What one synthesis request produced.
+struct SynthesisResult {
+  /// The synthetic instance (empty when the request said
+  /// `collect_table = false`).
+  Table synthetic;
+  SynthesisTelemetry telemetry;
+  /// Wall clock of this request's sampling (merge included).
+  double sampling_seconds = 0.0;
+};
+
+/// Handle to one asynchronous synthesis job. Obtained from
+/// `KaminoEngine::Submit`; shareable across threads.
+class SynthesisJob {
+ public:
+  /// Observable lifecycle. Queued/Sampling/Merging/Delivering are
+  /// in-flight; Done/Cancelled/Failed are terminal.
+  enum class Phase {
+    kQueued,
+    kSampling,
+    kMerging,
+    kDelivering,
+    kDone,
+    kCancelled,
+    kFailed,
+  };
+
+  /// A consistent point-in-time snapshot of the job's progress.
+  struct Progress {
+    Phase phase = Phase::kQueued;
+    /// Rows the job will synthesize in total.
+    size_t rows_total = 0;
+    /// Rows whose shard has finished its sampling loop (pre-merge).
+    size_t rows_sampled = 0;
+    /// Rows delivered through the sink in final, reconciled form (stays
+    /// 0 for sink-less jobs until completion, then jumps to rows_total).
+    size_t rows_committed = 0;
+    size_t chunks_delivered = 0;
+  };
+
+  Progress progress() const;
+
+  /// True once the job reached a terminal phase.
+  bool finished() const;
+
+  /// Requests cooperative cancellation: a queued job is skipped without
+  /// running; a running job stops at the next shard or column-group
+  /// boundary (and between chunk deliveries) and completes as
+  /// kCancelled. Idempotent, never blocks, never deadlocks a Wait().
+  void Cancel();
+
+  /// Blocks until the job is terminal and returns its result: the
+  /// synthesis output, StatusCode::kCancelled for a cancelled/skipped
+  /// job, or the failing stage's error. Safe to call from any thread,
+  /// multiple times (later calls return a Status-only copy for errors
+  /// and the cached result for success).
+  Result<SynthesisResult> Wait();
+
+ private:
+  friend class KaminoEngine;
+  SynthesisJob() = default;
+
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
+  std::shared_ptr<runtime::JobQueue::Job> queue_job_;
+};
+
+/// A long-lived synthesis service: owns (a reference to) the process-wide
+/// runtime pool and a cancellable job queue, and exposes the
+/// fit-once/synthesize-many session API. Thread-safe: Fit, Synthesize and
+/// Submit may be called concurrently from any thread.
+class KaminoEngine {
+ public:
+  struct Options {
+    /// Worker-thread budget for the parallel runtime (0 = hardware
+    /// concurrency). Applied at construction; per-request
+    /// `num_threads` overrides re-apply it per job.
+    size_t num_threads = 0;
+    /// Jobs executing concurrently; the rest wait queued in submission
+    /// order.
+    size_t max_concurrent_jobs = 2;
+  };
+
+  /// Default options: hardware-concurrency thread budget, 2 concurrent
+  /// jobs.
+  KaminoEngine();
+  explicit KaminoEngine(const Options& options);
+
+  /// Cancels every outstanding job, waits for running ones to stop at
+  /// their next cancellation point, then tears the queue down. Jobs'
+  /// `Wait()` stays valid after the engine is gone.
+  ~KaminoEngine();
+
+  KaminoEngine(const KaminoEngine&) = delete;
+  KaminoEngine& operator=(const KaminoEngine&) = delete;
+
+  /// Lines 2-5 of Algorithm 1 — the entire privacy spend. Validates
+  /// `config` up front. The input table may be released afterwards.
+  Result<FittedModel> Fit(const Table& data,
+                          const std::vector<WeightedConstraint>& constraints,
+                          const KaminoConfig& config);
+
+  /// Synchronous constraint-aware sampling from a fitted model — pure
+  /// post-processing, no privacy cost, `model` is not mutated. Identical
+  /// (model, request) pairs produce identical tables.
+  Result<SynthesisResult> Synthesize(const FittedModel& model,
+                                     const SynthesisRequest& request) const;
+
+  /// Queues the request as an asynchronous job. The returned handle's
+  /// `Wait()`/`Cancel()`/`progress()` are valid for the life of the
+  /// handle, independent of the engine. `request.sink` (when set) must
+  /// outlive the job.
+  std::shared_ptr<SynthesisJob> Submit(const FittedModel& model,
+                                       const SynthesisRequest& request);
+
+ private:
+  std::shared_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<runtime::JobQueue> jobs_;
+  // Outstanding queue-job handles, so the destructor can cancel every
+  // job — including fire-and-forget submissions whose public
+  // SynthesisJob handle the caller already dropped (the queue keeps the
+  // underlying job alive while it is queued or running). Guarded by mu_;
+  // pruned of finished jobs on every Submit.
+  mutable std::mutex mu_;
+  std::vector<std::weak_ptr<runtime::JobQueue::Job>> submitted_;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_SERVICE_ENGINE_H_

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "kamino/common/logging.h"
@@ -214,6 +217,130 @@ TEST(RuntimeDeterminismTest, RunKaminoOutputIdenticalAcrossThreadCounts) {
           << parallel.synthetic.CellToString(r, c);
     }
   }
+}
+
+// --- The cancellable-job queue (the async-serving substrate). ---
+
+using runtime::CancelToken;
+using runtime::JobQueue;
+
+TEST(JobQueueTest, RunsJobsInSubmissionOrder) {
+  std::mutex mu;
+  std::vector<int> order;
+  JobQueue queue(1);  // one runner: strict FIFO
+  std::vector<std::shared_ptr<JobQueue::Job>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(queue.Submit([&mu, &order, i](const CancelToken&) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->Wait(), JobQueue::JobState::kDone);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JobQueueTest, CancelledQueuedJobIsSkippedWithoutRunning) {
+  // Declared before the queue so they outlive its runner thread.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool first_running = false;
+  JobQueue queue(1);
+  auto first = queue.Submit([&](const CancelToken&) {
+    std::unique_lock<std::mutex> lock(mu);
+    first_running = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    // The single runner is now (or will be) held by the first job.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return first_running; });
+  }
+  std::atomic<bool> second_ran{false};
+  auto second =
+      queue.Submit([&](const CancelToken&) { second_ran.store(true); });
+  second->Cancel();
+  EXPECT_EQ(second->state(), JobQueue::JobState::kQueued);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(first->Wait(), JobQueue::JobState::kDone);
+  EXPECT_EQ(second->Wait(), JobQueue::JobState::kSkipped);
+  EXPECT_FALSE(second_ran.load()) << "a skipped job body ran";
+}
+
+TEST(JobQueueTest, RunningJobObservesItsToken) {
+  // Declared before the queue so they outlive its runner thread.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  std::atomic<bool> saw_cancel{false};
+  JobQueue queue(1);
+  auto job = queue.Submit([&](const CancelToken& token) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      started = true;
+    }
+    cv.notify_all();
+    while (!token.cancel_requested()) std::this_thread::yield();
+    saw_cancel.store(true);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  job->Cancel();
+  // A running job completes as kDone — the body decides what a cancelled
+  // run produces; the queue only transports the request.
+  EXPECT_EQ(job->Wait(), JobQueue::JobState::kDone);
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+TEST(JobQueueTest, DestructorSkipsQueuedJobsAndJoinsRunners) {
+  std::shared_ptr<JobQueue::Job> running;
+  std::shared_ptr<JobQueue::Job> waiting;
+  std::atomic<bool> waiting_ran{false};
+  std::atomic<bool> destroying{false};
+  // Declared before the queue scope: the job body uses them, so they must
+  // outlive the runner thread (the queue destructor joins it last).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  // The running job spins on its token; release it only once destruction
+  // is underway, so the destructor provably orphans the queued job while
+  // the runner is still busy (rather than racing it to the queue).
+  std::thread releaser([&] {
+    while (!destroying.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    running->Cancel();
+  });
+  {
+    JobQueue queue(1);
+    running = queue.Submit([&](const CancelToken& token) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        started = true;
+      }
+      cv.notify_all();
+      while (!token.cancel_requested()) std::this_thread::yield();
+    });
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return started; });
+    }
+    waiting = queue.Submit(
+        [&](const CancelToken&) { waiting_ran.store(true); });
+    destroying.store(true);
+  }  // ~JobQueue: skips `waiting`, then joins once `running` winds down
+  releaser.join();
+  EXPECT_EQ(running->Wait(), JobQueue::JobState::kDone);
+  EXPECT_EQ(waiting->Wait(), JobQueue::JobState::kSkipped);
+  EXPECT_FALSE(waiting_ran.load());
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 
 #include "bench/harness.h"
 #include "kamino/dc/violations.h"
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 #include "kamino/runtime/thread_pool.h"
 #include "kamino/service/engine.h"
 
@@ -376,9 +378,58 @@ int Main() {
   }
   runtime::SetGlobalNumThreads(0);
 
+  // --- Observability overhead: the 9600-row order-DC sweep (count + the
+  // incremental index commit loop) with tracing + metrics off vs on. The
+  // obs layer promises near-zero overhead: recording is one relaxed
+  // enabled-check per instrumentation point and the per-row hot loops are
+  // untouched, so the on/off delta should disappear into timer noise
+  // (acceptance bound: < 5%).
+  bool obs_output_identical = true;
+  runtime::SetGlobalNumThreads(1);
+  {
+    const size_t n = 9600;
+    const BenchmarkDataset tax = MakeTaxLike(n, kSeed);
+    const std::vector<WeightedConstraint> tax_dcs = Constraints(tax);
+    const DenialConstraint* order_dc = nullptr;
+    for (const WeightedConstraint& wc : tax_dcs) {
+      if (wc.dc.AsGroupedOrderSpec().has_value()) order_dc = &wc.dc;
+    }
+    KAMINO_CHECK(order_dc != nullptr) << "tax workload lost its order DC";
+    int64_t sweep_sum = 0;
+    auto sweep = [&] {
+      obs::TraceSpan span("bench/obs_sweep");
+      sweep_sum = CountViolations(*order_dc, tax.table);
+      auto index = MakeViolationIndex(*order_dc);
+      for (size_t i = 0; i < tax.table.num_rows(); ++i) {
+        sweep_sum += index->CountNew(tax.table.row(i));
+        index->AddRow(tax.table.row(i));
+      }
+    };
+    sweep();  // warm up caches before either timed variant
+    const int64_t expected_sum = sweep_sum;
+    const double off_seconds = TimeBest(5, sweep);
+    obs::TraceRecorder::Global().SetEnabled(true);
+    obs::MetricsRegistry::Global().SetEnabled(true);
+    const double on_seconds = TimeBest(5, sweep);
+    if (sweep_sum != expected_sum) obs_output_identical = false;
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Clear();
+    obs::MetricsRegistry::Global().SetEnabled(false);
+    obs::MetricsRegistry::Global().Reset();
+    records.push_back({"obs_overhead_off", n, 1, off_seconds});
+    records.push_back({"obs_overhead_on", n, 1, on_seconds});
+    std::printf("\n%-28s %8s %12s %12s %9s\n", "method", "rows", "off-sec",
+                "on-sec", "overhead");
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1f%%\n", "obs_overhead", n,
+                off_seconds, on_seconds,
+                100.0 * (on_seconds - off_seconds) / off_seconds);
+  }
+  runtime::SetGlobalNumThreads(0);
+
   WriteBenchJson("BENCH_parallel.json", records);
   return deterministic && shards_deterministic && order_counts_agree &&
-                 mixed_counts_agree && service_deterministic
+                 mixed_counts_agree && service_deterministic &&
+                 obs_output_identical
              ? 0
              : 1;
 }

@@ -9,6 +9,11 @@
 //   2. an async `Submit` job with progress polling;
 //   3. a streaming job whose `RowSink` receives `TableChunk`s as shards
 //      clear reconciliation, before the job completes.
+//
+// Pass a file path as the first argument to run with tracing + metrics
+// enabled: the Chrome trace-event JSON of the whole session is written
+// there (load it in Perfetto / chrome://tracing) and the metrics snapshot
+// is printed to stdout.
 
 #include <algorithm>
 #include <chrono>
@@ -66,7 +71,8 @@ class PrintingSink : public kamino::RowSink {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
   const kamino::Table truth = MakeEmployees(400, /*seed=*/7);
   const std::vector<std::string> specs = {
       "!(t1.dept == t2.dept & t1.floor != t2.floor)",
@@ -85,6 +91,10 @@ int main() {
   config.delta = 1e-6;
   config.options.seed = 42;
   config.options.iterations = 150;
+  if (trace_path != nullptr) {
+    config.options.enable_tracing = true;
+    config.options.enable_metrics = true;
+  }
 
   kamino::KaminoEngine engine;
 
@@ -161,5 +171,20 @@ int main() {
   std::printf("    delivered %zu chunks / %zu rows through the sink\n",
               stream_job->progress().chunks_delivered,
               stream_job->progress().rows_committed);
+
+  // --- Observability dump (only when a trace path was given). ---
+  if (trace_path != nullptr) {
+    const std::string trace = engine.DumpTrace();
+    std::FILE* f = std::fopen(trace_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
+      return 1;
+    }
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("  trace: %zu bytes written to %s (open in Perfetto)\n",
+                trace.size(), trace_path);
+    std::printf("  metrics: %s\n", engine.DumpMetrics().c_str());
+  }
   return 0;
 }

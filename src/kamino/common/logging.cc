@@ -1,0 +1,82 @@
+#include "kamino/common/logging.h"
+
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+namespace kamino {
+namespace internal_logging {
+namespace {
+
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& line) override {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    if (level >= LogLevel::kError) std::fflush(stderr);
+  }
+};
+
+StderrSink& DefaultSink() {
+  static StderrSink sink;
+  return sink;
+}
+
+/// Parses KAMINO_LOG_LEVEL once; unknown values keep the Info default.
+LogLevel InitialMinLevel() {
+  const char* env = std::getenv("KAMINO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string value;
+  for (const char* p = env; *p; ++p) {
+    value.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+  }
+  if (value == "0" || value == "INFO") return LogLevel::kInfo;
+  if (value == "1" || value == "WARNING" || value == "WARN") {
+    return LogLevel::kWarning;
+  }
+  if (value == "2" || value == "ERROR") return LogLevel::kError;
+  if (value == "3" || value == "FATAL") return LogLevel::kFatal;
+  return LogLevel::kInfo;
+}
+
+/// One mutex serializes sink swaps, threshold changes and every Write, so
+/// concurrent LogMessage destructors cannot interleave their lines and a
+/// sink being uninstalled never races an in-flight Write.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink* g_sink = nullptr;  // nullptr = default stderr sink
+LogLevel g_min_level = InitialMinLevel();
+
+}  // namespace
+
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  LogSink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  g_min_level = level;
+}
+
+LogLevel MinLogLevel() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  return g_min_level;
+}
+
+void EmitLogLine(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  // Fatal always reaches the sink: it is about to abort the process and
+  // suppressing its last words would hide the reason.
+  if (level < g_min_level && level != LogLevel::kFatal) return;
+  LogSink* sink = g_sink != nullptr ? g_sink : &DefaultSink();
+  sink->Write(level, line);
+}
+
+}  // namespace internal_logging
+}  // namespace kamino

@@ -2,8 +2,8 @@
 #define KAMINO_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string>
 
 namespace kamino {
 namespace internal_logging {
@@ -11,8 +11,36 @@ namespace internal_logging {
 /// Severity levels for KAMINO_LOG.
 enum class LogLevel { kInfo, kWarning, kError, kFatal };
 
-/// Stream-style log sink that writes a single line to stderr on destruction.
-/// Fatal messages abort the process after being flushed.
+/// Receives fully formatted log lines (one '\n'-terminated line per
+/// message). `Write` calls are serialized by the logging mutex, so sinks
+/// need no locking of their own. The default sink writes to stderr.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` as the process-wide log destination and returns the
+/// previous one (nullptr restores the default stderr sink). The caller
+/// keeps ownership; the sink must outlive its installation. Thread-safe;
+/// tests use this to capture log output.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Messages below `level` are discarded (Fatal is never discarded — it
+/// must still print and abort). The initial threshold comes from the
+/// KAMINO_LOG_LEVEL environment variable ("INFO"/"WARNING"/"ERROR"/
+/// "FATAL", case-insensitive, or 0-3), defaulting to Info.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// Routes one formatted line to the installed sink under the logging
+/// mutex (concurrent messages never interleave mid-line), applying the
+/// severity threshold. Fatal messages abort after the sink returns.
+void EmitLogLine(LogLevel level, const std::string& line);
+
+/// Stream-style message builder: buffers locally, emits one line through
+/// the mutex-protected sink on destruction. Fatal messages abort the
+/// process after being flushed.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -21,9 +49,8 @@ class LogMessage {
 
   ~LogMessage() {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    EmitLogLine(level_, stream_.str());
     if (level_ == LogLevel::kFatal) {
-      std::cerr.flush();
       std::abort();
     }
   }

@@ -41,6 +41,10 @@ Status KaminoOptions::Validate() const {
     return Bad("group_domain_threshold",
                "must be >= 1 when enable_grouping is set");
   }
+  if (enable_tracing && trace_capacity_events == 0) {
+    return Bad("trace_capacity_events",
+               "must be >= 1 when enable_tracing is set");
+  }
   return Status::OK();
 }
 

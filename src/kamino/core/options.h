@@ -121,6 +121,26 @@ struct KaminoOptions {
   /// which is itself a pure function of (seed, num_shards).
   bool soft_penalty_merge_order = true;
 
+  // --- Observability (src/kamino/obs/) ---
+  /// Record pipeline/sampler/runtime spans into the process-wide
+  /// `obs::TraceRecorder` (exportable as Chrome trace-event JSON via
+  /// `KaminoEngine::DumpTrace`). Off by default. Applied at the pipeline
+  /// entry points as a monotone enable — a run asking for tracing turns
+  /// the global recorder on; runs that don't leave it alone (so
+  /// concurrent traced and untraced jobs compose; last-enabler semantics
+  /// mirror `num_threads`). Never changes the synthesized output: spans
+  /// observe the run, they do not steer it.
+  bool enable_tracing = false;
+  /// Record counters/gauges/histograms into the process-wide
+  /// `obs::MetricsRegistry` (export via `KaminoEngine::DumpMetrics`).
+  /// Off by default; monotone enable like `enable_tracing`. Never
+  /// changes the synthesized output.
+  bool enable_metrics = false;
+  /// Per-thread cap on retained trace events; events past it are dropped
+  /// and counted, never unbounded. Must be >= 1 when `enable_tracing` is
+  /// set (Validate rejects the combination that could record nothing).
+  size_t trace_capacity_events = size_t{1} << 20;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
 

@@ -1,33 +1,32 @@
 #include "kamino/core/pipeline.h"
 
-#include <chrono>
 #include <limits>
 #include <utility>
 
 #include "kamino/core/params.h"
 #include "kamino/core/sequencing.h"
 #include "kamino/core/weights.h"
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 #include "kamino/runtime/thread_pool.h"
 
 namespace kamino {
 namespace {
 
-class PhaseTimer {
- public:
-  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
-
-  /// Seconds since construction or the last Lap call.
-  double Lap() {
-    const auto now = std::chrono::steady_clock::now();
-    const double seconds =
-        std::chrono::duration<double>(now - start_).count();
-    start_ = now;
-    return seconds;
+/// Applies the run's observability knobs to the process-wide recorder and
+/// registry. Monotone: a run asking for tracing/metrics turns them on;
+/// runs that don't leave the global state alone, so concurrent traced and
+/// untraced jobs compose (last-enabler semantics, like `num_threads`).
+void ApplyObservabilityOptions(const KaminoOptions& options) {
+  if (options.enable_tracing) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.SetCapacity(options.trace_capacity_events);
+    recorder.SetEnabled(true);
   }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+  if (options.enable_metrics) {
+    obs::MetricsRegistry::Global().SetEnabled(true);
+  }
+}
 
 }  // namespace
 
@@ -42,18 +41,28 @@ Result<FitArtifacts> FitPipeline(
   // at any budget (parallel regions key randomness by task index and
   // reduce in fixed order), so the knob trades wall clock only.
   runtime::SetGlobalNumThreads(config.options.num_threads);
+  ApplyObservabilityOptions(config.options);
 
   Rng rng(config.options.seed);
   FitArtifacts fitted;
-  PhaseTimer timer;
   fitted.input_rows = data.num_rows();
   fitted.fit_timings.num_threads = runtime::GlobalNumThreads();
 
+  // The span tree is the stopwatch: each stage's PhaseTimings entry is
+  // the measured duration of its span (Finish() returns it whether or not
+  // trace recording is enabled).
+  obs::TraceSpan fit_span("fit");
+  fit_span.AddArg("rows", static_cast<int64_t>(data.num_rows()));
+  fit_span.AddArg("constraints", static_cast<int64_t>(constraints.size()));
+
   // Line 2: schema sequencing (Algorithm 4) - no privacy cost.
-  fitted.sequence = config.options.random_sequence
-                        ? RandomSequence(data.schema(), &rng)
-                        : SequenceSchema(data.schema(), constraints);
-  fitted.fit_timings.sequencing = timer.Lap();
+  {
+    obs::TraceSpan span("fit/sequencing");
+    fitted.sequence = config.options.random_sequence
+                          ? RandomSequence(data.schema(), &rng)
+                          : SequenceSchema(data.schema(), constraints);
+    fitted.fit_timings.sequencing = span.Finish();
+  }
 
   // Decide whether weight learning will run: only when requested and some
   // constraint is soft.
@@ -67,40 +76,49 @@ Result<FitArtifacts> FitPipeline(
   // Line 3: parameter search (Algorithm 6) - no privacy cost (schema and
   // domain are public).
   KaminoOptions options = config.options;
-  if (!options.non_private) {
-    KAMINO_ASSIGN_OR_RETURN(
-        options, SearchDpParameters(config.epsilon, config.delta,
-                                    data.schema(), fitted.sequence,
-                                    data.num_rows(), learn_weights,
-                                    config.options));
+  {
+    obs::TraceSpan span("fit/parameter_search");
+    if (!options.non_private) {
+      KAMINO_ASSIGN_OR_RETURN(
+          options, SearchDpParameters(config.epsilon, config.delta,
+                                      data.schema(), fitted.sequence,
+                                      data.num_rows(), learn_weights,
+                                      config.options));
+    }
+    fitted.resolved_options = options;
+    fitted.fit_timings.parameter_search = span.Finish();
   }
-  fitted.resolved_options = options;
-  fitted.fit_timings.parameter_search = timer.Lap();
 
   // Line 4: model training (Algorithm 2) - Gaussian mechanism + DP-SGD.
-  KAMINO_ASSIGN_OR_RETURN(
-      fitted.model,
-      ProbabilisticDataModel::Train(data, fitted.sequence, options, &rng));
-  fitted.fit_timings.training = timer.Lap();
+  {
+    obs::TraceSpan span("fit/training");
+    KAMINO_ASSIGN_OR_RETURN(
+        fitted.model,
+        ProbabilisticDataModel::Train(data, fitted.sequence, options, &rng));
+    fitted.fit_timings.training = span.Finish();
+  }
 
   // Line 5: DC weight learning (Algorithm 5) - sampled Gaussian mechanism.
-  fitted.weighted = constraints;
-  if (learn_weights) {
-    KAMINO_ASSIGN_OR_RETURN(
-        fitted.dc_weights,
-        LearnDcWeights(data, constraints, fitted.sequence, options, &rng));
-    for (size_t l = 0; l < fitted.weighted.size(); ++l) {
-      if (!fitted.weighted[l].hard) {
-        fitted.weighted[l].weight = fitted.dc_weights[l];
+  {
+    obs::TraceSpan span("fit/weights");
+    fitted.weighted = constraints;
+    if (learn_weights) {
+      KAMINO_ASSIGN_OR_RETURN(
+          fitted.dc_weights,
+          LearnDcWeights(data, constraints, fitted.sequence, options, &rng));
+      for (size_t l = 0; l < fitted.weighted.size(); ++l) {
+        if (!fitted.weighted[l].hard) {
+          fitted.weighted[l].weight = fitted.dc_weights[l];
+        }
+      }
+    } else {
+      fitted.dc_weights.reserve(constraints.size());
+      for (const WeightedConstraint& wc : constraints) {
+        fitted.dc_weights.push_back(wc.EffectiveWeight());
       }
     }
-  } else {
-    fitted.dc_weights.reserve(constraints.size());
-    for (const WeightedConstraint& wc : constraints) {
-      fitted.dc_weights.push_back(wc.EffectiveWeight());
-    }
+    fitted.fit_timings.violation_matrix = span.Finish();
   }
-  fitted.fit_timings.violation_matrix = timer.Lap();
 
   fitted.epsilon_spent =
       options.non_private
@@ -129,6 +147,7 @@ Result<Table> SamplePipeline(const FitArtifacts& fitted,
     options.num_threads = spec.num_threads;
     runtime::SetGlobalNumThreads(spec.num_threads);
   }
+  ApplyObservabilityOptions(options);
   const size_t n = spec.num_rows == 0 ? fitted.input_rows : spec.num_rows;
 
   // seed == 0 resumes the fit snapshot (the RunKamino-identical stream);
@@ -138,12 +157,18 @@ Result<Table> SamplePipeline(const FitArtifacts& fitted,
 
   SynthesisTelemetry local_telemetry;
   if (telemetry == nullptr) telemetry = &local_telemetry;
-  PhaseTimer timer;
+  obs::TraceSpan span("synthesize");
+  span.AddArg("rows", static_cast<int64_t>(n));
+  span.AddArg("seed", static_cast<int64_t>(spec.seed));
   KAMINO_ASSIGN_OR_RETURN(
       Table out, Synthesize(fitted.model, fitted.weighted, n, options, &rng,
                             telemetry, hooks));
+  // The sampling phase is the synthesize span's duration; the merge
+  // sub-phase is the shard_merge span's duration (surfaced through
+  // telemetry by the sampler) — both derived from the span tree.
+  const double sampling_seconds = span.Finish();
   if (timings != nullptr) {
-    timings->sampling = timer.Lap();
+    timings->sampling = sampling_seconds;
     timings->shard_merge = telemetry->merge_seconds;
     timings->num_shards = telemetry->num_shards;
     timings->num_threads = runtime::GlobalNumThreads();

@@ -11,6 +11,8 @@
 #include "kamino/common/logging.h"
 #include "kamino/core/sequencing.h"
 #include "kamino/dc/violations.h"
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 #include "kamino/runtime/parallel_for.h"
 #include "kamino/runtime/rng_stream.h"
 #include "kamino/runtime/thread_pool.h"
@@ -1095,6 +1097,10 @@ Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
   if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
   for (size_t s = 0; s < sizes.size(); ++s) {
     if (!KeepGoing(hooks)) return CancelledStatus();
+    obs::TraceSpan span("sampler/chunk");
+    span.AddArg("shard", static_cast<int64_t>(s));
+    span.AddArg("row_offset", static_cast<int64_t>(offsets[s]));
+    span.AddArg("rows", static_cast<int64_t>(sizes[s]));
     TableChunk chunk;
     chunk.shard = s;
     chunk.row_offset = offsets[s];
@@ -1106,6 +1112,28 @@ Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
     KAMINO_RETURN_IF_ERROR(hooks->on_chunk(chunk));
   }
   return Status::OK();
+}
+
+/// Folds the run's telemetry into the global metrics registry once per
+/// Synthesize call (no per-row metric traffic on the hot path). Observing
+/// only: reads telemetry, never steers the run.
+void RecordSamplerMetrics(const SynthesisTelemetry& t, size_t rows) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.counter("kamino.sampler.runs")->Increment();
+  reg.counter("kamino.sampler.rows_sampled")
+      ->Increment(static_cast<int64_t>(rows));
+  reg.counter("kamino.sampler.shards_sampled")
+      ->Increment(static_cast<int64_t>(t.num_shards));
+  reg.counter("kamino.sampler.ar_proposals")->Increment(t.ar_proposals);
+  reg.counter("kamino.sampler.fd_fast_path_hits")
+      ->Increment(t.fd_fast_path_hits);
+  reg.counter("kamino.sampler.mcmc_resamples")->Increment(t.mcmc_resamples);
+  reg.counter("kamino.sampler.merge_cross_violations")
+      ->Increment(t.merge_cross_violations);
+  reg.counter("kamino.sampler.merge_conflict_rows")
+      ->Increment(t.merge_conflict_rows);
+  reg.counter("kamino.sampler.merge_resamples")->Increment(t.merge_resamples);
 }
 
 }  // namespace
@@ -1130,11 +1158,17 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
     // parallelism for candidate scoring and MCMC batches.
     Table out(schema);
     std::vector<std::unique_ptr<ViolationIndex>> indices;
-    KAMINO_RETURN_IF_ERROR(SampleShardRows(
-        model, constraints, activation, n, options, options.mcmc_resamples,
-        /*allow_nested_parallel=*/true, hooks, rng, telemetry, &out,
-        &indices));
+    {
+      obs::TraceSpan span("sampler/shard");
+      span.AddArg("shard", 0);
+      span.AddArg("rows", static_cast<int64_t>(n));
+      KAMINO_RETURN_IF_ERROR(SampleShardRows(
+          model, constraints, activation, n, options, options.mcmc_resamples,
+          /*allow_nested_parallel=*/true, hooks, rng, telemetry, &out,
+          &indices));
+    }
     KAMINO_RETURN_IF_ERROR(EmitChunks(out, {n}, {0}, hooks));
+    RecordSamplerMetrics(*telemetry, n);
     return out;
   }
 
@@ -1161,6 +1195,9 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
         for (size_t s = lo; s < hi; ++s) {
           // Shard boundary: a cancelled job never starts another shard.
           if (!KeepGoing(hooks)) return CancelledStatus();
+          obs::TraceSpan span("sampler/shard");
+          span.AddArg("shard", static_cast<int64_t>(s));
+          span.AddArg("rows", static_cast<int64_t>(sizes[s]));
           Rng shard_rng(root.SubSeed(s));
           KAMINO_RETURN_IF_ERROR(SampleShardRows(
               model, constraints, activation, sizes[s], options,
@@ -1186,17 +1223,22 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
     telemetry->mcmc_batches += shard.telemetry.mcmc_batches;
   }
 
-  const auto merge_start = std::chrono::steady_clock::now();
-  KAMINO_RETURN_IF_ERROR(ReconcileShards(model, constraints, options,
-                                         activation, shards, offsets,
-                                         merge_seed, &out, telemetry));
-  telemetry->merge_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    merge_start)
-          .count();
+  {
+    // The merge span is the stopwatch for `merge_seconds` (and thus
+    // PhaseTimings.shard_merge): one measurement, one source of truth.
+    obs::TraceSpan span("sampler/shard_merge");
+    span.AddArg("shards", static_cast<int64_t>(num_shards));
+    KAMINO_RETURN_IF_ERROR(ReconcileShards(model, constraints, options,
+                                           activation, shards, offsets,
+                                           merge_seed, &out, telemetry));
+    span.AddArg("cross_violations", telemetry->merge_cross_violations);
+    span.AddArg("conflict_rows", telemetry->merge_conflict_rows);
+    telemetry->merge_seconds = span.Finish();
+  }
   // Every row is final once reconciliation returns; stream the shards out
   // in ascending row-offset order before handing back the full table.
   KAMINO_RETURN_IF_ERROR(EmitChunks(out, sizes, offsets, hooks));
+  RecordSamplerMetrics(*telemetry, n);
   return out;
 }
 

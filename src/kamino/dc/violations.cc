@@ -3,14 +3,38 @@
 #include <algorithm>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "kamino/common/logging.h"
+#include "kamino/obs/metrics.h"
 #include "kamino/runtime/parallel_for.h"
 
 namespace kamino {
 namespace {
+
+/// Bumps `kamino.dc.<what>.<kind>` and records the table size into the
+/// matching size histogram when metrics are on. `kind` names the dispatch
+/// branch (fd / order / composite / naive / ...), so the counters expose
+/// how often each specialized engine actually fires.
+void RecordDcMetric(const char* what, const char* kind, size_t rows) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  static const std::vector<double> kRowBounds = {100.0, 1000.0, 10000.0,
+                                                 100000.0};
+  reg.counter(std::string("kamino.dc.") + what + "." + kind)->Increment();
+  reg.histogram(std::string("kamino.dc.") + what + ".rows", kRowBounds)
+      ->Record(static_cast<double>(rows));
+}
+
+/// Counter-only variant for index construction (no table in scope there).
+void RecordDcIndexBuilt(const char* kind) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.counter(std::string("kamino.dc.index_built.") + kind)->Increment();
+}
 
 /// Rows per ParallelFor chunk for the pair scans. Fixed (not derived from
 /// the thread count) so chunk boundaries — and therefore the partial
@@ -975,16 +999,28 @@ int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
 }
 
 int64_t CountViolations(const DenialConstraint& dc, const Table& table) {
+  const size_t n = table.num_rows();
   std::vector<size_t> lhs;
   size_t rhs = 0;
-  if (dc.AsFd(&lhs, &rhs)) return CountFdViolations(lhs, rhs, table);
+  if (dc.AsFd(&lhs, &rhs)) {
+    RecordDcMetric("count", "fd", n);
+    return CountFdViolations(lhs, rhs, table);
+  }
   std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
-  if (order.has_value()) return CountOrderViolations(*order, table);
+  if (order.has_value()) {
+    RecordDcMetric("count", "order", n);
+    return CountOrderViolations(*order, table);
+  }
   const PredicateDecomposition decomp = dc.Decompose();
-  if (decomp.shape == PredicateDecomposition::Shape::kNeverFires) return 0;
+  if (decomp.shape == PredicateDecomposition::Shape::kNeverFires) {
+    RecordDcMetric("count", "never", n);
+    return 0;
+  }
   if (decomp.shape == PredicateDecomposition::Shape::kComposite) {
+    RecordDcMetric("count", "composite", n);
     return CountCompositeViolations(decomp, table);
   }
+  RecordDcMetric("count", "naive", n);
   return CountViolationsNaive(dc, table);
 }
 
@@ -1100,19 +1136,25 @@ std::vector<std::vector<double>> BuildViolationMatrix(
 
 std::unique_ptr<ViolationIndex> MakeViolationIndex(
     const DenialConstraint& dc) {
-  if (dc.is_unary()) return std::make_unique<UnaryViolationIndex>(dc);
+  if (dc.is_unary()) {
+    RecordDcIndexBuilt("unary");
+    return std::make_unique<UnaryViolationIndex>(dc);
+  }
   std::vector<size_t> lhs;
   size_t rhs = 0;
   if (dc.AsFd(&lhs, &rhs)) {
+    RecordDcIndexBuilt("fd");
     return std::make_unique<FdViolationIndex>(std::move(lhs), rhs);
   }
   std::optional<GroupedOrderSpec> order = dc.AsGroupedOrderSpec();
   if (order.has_value()) {
+    RecordDcIndexBuilt("order");
     return std::make_unique<OrderViolationIndex>(std::move(*order));
   }
   const PredicateDecomposition decomp = dc.Decompose();
   using Shape = PredicateDecomposition::Shape;
   if (decomp.shape == Shape::kNeverFires) {
+    RecordDcIndexBuilt("never");
     return std::make_unique<NeverViolationIndex>();
   }
   if (decomp.shape == Shape::kComposite) {
@@ -1121,6 +1163,7 @@ std::unique_ptr<ViolationIndex> MakeViolationIndex(
       // turned inequation, or an FD with no syntactic equality LHS): the
       // FD hash index computes exactly scope minus diagonal — an empty
       // scope key is one global group.
+      RecordDcIndexBuilt("fd");
       return std::make_unique<FdViolationIndex>(decomp.scope_attrs,
                                                 decomp.ne_attrs[0]);
     }
@@ -1128,8 +1171,10 @@ std::unique_ptr<ViolationIndex> MakeViolationIndex(
     // syntactic matcher missed — goes through the composite plan (for a
     // pure two-strict-order shape that plan is a single order block, so
     // the direction-to-co_monotone convention lives in one place).
+    RecordDcIndexBuilt("composite");
     return std::make_unique<CompositeViolationIndex>(decomp);
   }
+  RecordDcIndexBuilt("naive");
   return std::make_unique<NaiveViolationIndex>(dc);
 }
 

@@ -1,0 +1,237 @@
+#include "kamino/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "kamino/common/logging.h"
+
+namespace kamino {
+namespace obs {
+namespace {
+
+std::atomic<size_t> g_next_stripe{0};
+
+/// Renders a double the way the rest of the JSON emitters do: shortest
+/// form that round-trips (17 significant digits), with non-finite values
+/// mapped to null-safe strings (JSON has no inf/nan literals).
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld.0",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t ThisThreadStripe() {
+  thread_local const size_t stripe =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::Stripe& s : stripes_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::Stripe& s : stripes_) {
+    s.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  KAMINO_CHECK(!bounds_.empty()) << "histogram needs at least one boundary";
+  KAMINO_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram boundaries must be ascending";
+  stripes_.reserve(kMetricStripes);
+  for (size_t s = 0; s < kMetricStripes; ++s) {
+    stripes_.push_back(std::make_unique<HistStripe>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Record(double value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // Bucket i holds samples <= bounds_[i]; the final bucket catches the
+  // rest (including NaN, which fails every comparison).
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  HistStripe& stripe = *stripes_[ThisThreadStripe()];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  // C++17 has no atomic<double>::fetch_add; a relaxed CAS loop on an
+  // uncontended per-thread slot converges in one iteration in practice.
+  double sum = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(sum, sum + value,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  // Fixed stripe order: integer bucket/count sums are exact and
+  // order-independent; the double sum is merged in slot order so the same
+  // per-slot values always produce the same total.
+  for (const std::unique_ptr<HistStripe>& stripe : stripes_) {
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      snap.buckets[b] += stripe->buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += stripe->count.load(std::memory_order_relaxed);
+    snap.sum += stripe->sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (const std::unique_ptr<HistStripe>& stripe : stripes_) {
+    for (std::atomic<int64_t>& b : stripe->buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    stripe->count.store(0, std::memory_order_relaxed);
+    stripe->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(&out, name);
+    out.push_back(':');
+    out.append(std::to_string(value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(&out, name);
+    out.push_back(':');
+    out.append(std::to_string(value));
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(&out, name);
+    out.append(":{\"bounds\":[");
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendDouble(&out, hist.bounds[i]);
+    }
+    out.append("],\"buckets\":[");
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(std::to_string(hist.buckets[i]));
+    }
+    out.append("],\"count\":");
+    out.append(std::to_string(hist.count));
+    out.append(",\"sum\":");
+    AppendDouble(&out, hist.sum);
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: metric handles cached in static locals across
+  // the codebase must stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(&enabled_));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(&enabled_));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram(&enabled_, std::move(bounds)));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : counters_) kv.second->Reset();
+  for (const auto& kv : gauges_) kv.second->Reset();
+  for (const auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace kamino

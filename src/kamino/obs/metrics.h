@@ -1,0 +1,209 @@
+#ifndef KAMINO_OBS_METRICS_H_
+#define KAMINO_OBS_METRICS_H_
+
+// Process-wide metrics: named counters, gauges, and fixed-boundary
+// histograms, registered by name in a `MetricsRegistry` and exported as a
+// consistent `Snapshot()` struct or JSON for the (future) statsz endpoint.
+//
+// Design constraints, in order:
+//   1. Observability never influences control flow: recording draws no
+//      randomness, takes no locks on the hot path, and the synthesized
+//      output is bit-identical with metrics on or off.
+//   2. Near-zero overhead when disabled: every write starts with one
+//      relaxed atomic load of the registry's enabled flag and returns.
+//   3. Thread-safe recording without contention: each metric's value is
+//      sharded into cache-line-padded per-thread slots (threads are
+//      assigned a slot round-robin on first use); writes are relaxed
+//      fetch_adds on the caller's slot, and the slots are merged only at
+//      snapshot time, in fixed slot order, so a snapshot of the same
+//      recorded multiset is always the same struct.
+//
+// Metric handles (`Counter*`, `Gauge*`, `Histogram*`) are stable for the
+// registry's lifetime — look them up once and cache the pointer on hot
+// paths. The global registry (`MetricsRegistry::Global()`) is never
+// destroyed; tests may instantiate private registries.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kamino {
+namespace obs {
+
+/// Slots a metric's value is sharded into. More than the hardware
+/// concurrency of the target containers, so concurrent writers virtually
+/// never share a cache line.
+inline constexpr size_t kMetricStripes = 16;
+
+/// The per-thread slot index: assigned round-robin on a thread's first
+/// metric write, fixed for the thread's lifetime.
+size_t ThisThreadStripe();
+
+namespace internal {
+
+/// One cache-line-padded shard slot.
+struct alignas(64) Stripe {
+  std::atomic<int64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  /// No-op while the owning registry is disabled. Relaxed add on the
+  /// calling thread's slot otherwise.
+  void Increment(int64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    stripes_[ThisThreadStripe()].value.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+  }
+
+  /// Sum over the slots (the merged value a snapshot would report).
+  int64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset();
+
+  const std::atomic<bool>* enabled_;
+  internal::Stripe stripes_[kMetricStripes];
+};
+
+/// Last-written (or delta-adjusted) integer level, e.g. a queue depth.
+/// Unlike counters, gauges are a single slot: `Set` is an absolute store,
+/// so interleaved writers leave the last written level, not a sum.
+class Gauge {
+ public:
+  /// `Set` is recorded even while the registry is disabled, so a level
+  /// written before `SetEnabled(true)` (a queue depth, a pool size) is
+  /// correct in the first snapshot rather than stuck at a stale zero.
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Relative adjustment; no-op while disabled (a missed +1/-1 pair skews
+  /// the level forever, so deltas only count while metrics are on —
+  /// prefer absolute `Set` where the true level is at hand).
+  void Add(int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  /// Ascending upper bounds; bucket i counts samples <= bounds[i], the
+  /// final (implicit +inf) bucket counts the rest.
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries.
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-boundary histogram. Boundaries are set at registration and never
+/// change; each (stripe, bucket) cell is its own relaxed atomic, plus a
+/// per-stripe sample count and compare-exchange-merged double sum.
+class Histogram {
+ public:
+  /// Records one sample; no-op while the registry is disabled.
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  void Reset();
+
+  struct alignas(64) HistStripe {
+    std::vector<std::atomic<int64_t>> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+
+    explicit HistStripe(size_t num_buckets) : buckets(num_buckets) {}
+  };
+
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;  // ascending; immutable after construction
+  std::vector<std::unique_ptr<HistStripe>> stripes_;
+};
+
+/// A consistent point-in-time view of every registered metric, merged
+/// from the per-thread slots in fixed order (same recorded values =>
+/// same snapshot, regardless of which thread recorded what).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"bounds": [...], "buckets": [...], "count": n, "sum": s}}}.
+  std::string ToJson() const;
+};
+
+/// Name-keyed registry of counters/gauges/histograms. Registration and
+/// snapshotting take the registry mutex; recording through the returned
+/// handles never does.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed). Everything in
+  /// src/kamino records here.
+  static MetricsRegistry& Global();
+
+  /// A private registry, disabled until `SetEnabled(true)`.
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer stays valid for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` must be strictly ascending and non-empty; the boundaries of
+  /// the first registration win (later calls with the same name return
+  /// the existing histogram unchanged).
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Master recording switch, off by default. Flipping it never
+  /// invalidates handles; writes made while disabled are simply dropped
+  /// (except absolute `Gauge::Set`, see there).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every registered metric (handles stay valid). For tests and
+  /// benchmark repetitions.
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace kamino
+
+#endif  // KAMINO_OBS_METRICS_H_

@@ -1,0 +1,228 @@
+#include "kamino/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace kamino {
+namespace obs {
+namespace {
+
+/// Innermost live recording span on this thread (0 = none). Spans that
+/// are not recording leave it untouched.
+thread_local uint64_t t_current_span = 0;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendMicros(std::string* out, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out->append(buf);
+}
+
+}  // namespace
+
+/// One thread's event buffer. Appends and exports both take `mu`, but the
+/// appender is the owning thread and the exporter is rare, so the lock is
+/// effectively uncontended ("lock-light"). Leaked with the recorder so
+/// events survive thread exit (pool resizes).
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  uint32_t tid = 0;
+};
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked intentionally: worker threads may append during static
+  // destruction of other objects.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetCapacity(size_t max_events_per_thread) {
+  capacity_.store(max_events_per_thread, std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [this] {
+    ThreadBuffer* fresh = new ThreadBuffer();
+    fresh->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return buffer;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >=
+      capacity_.load(std::memory_order_relaxed)) {
+    ++buffer->dropped;
+    return;
+  }
+  event.tid = buffer->tid;
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ThreadBuffer* buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.id < b.id;
+            });
+  return merged;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendEscaped(&out, e.name);
+    out.append(",\"cat\":\"kamino\",\"ph\":\"");
+    out.push_back(e.ph);
+    out.append("\",\"ts\":");
+    AppendMicros(&out, e.ts_us);
+    if (e.ph == 'X') {
+      out.append(",\"dur\":");
+      AppendMicros(&out, e.dur_us);
+    } else {
+      // Instant events need a scope; 't' = thread.
+      out.append(",\"s\":\"t\"");
+    }
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(e.tid));
+    out.append(",\"args\":{\"id\":");
+    out.append(std::to_string(e.id));
+    out.append(",\"parent\":");
+    out.append(std::to_string(e.parent));
+    for (const auto& [key, value] : e.args) {
+      out.push_back(',');
+      AppendEscaped(&out, key);
+      out.push_back(':');
+      out.append(std::to_string(value));
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (ThreadBuffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : start_(std::chrono::steady_clock::now()) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  recording_ = true;
+  id_ = recorder.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  event_.name = name;
+  event_.ph = 'X';
+  event_.id = id_;
+  event_.parent = parent_;
+  event_.ts_us = recorder.MicrosSinceEpoch(start_);
+}
+
+TraceSpan::~TraceSpan() { Finish(); }
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (!recording_) return;
+  event_.args.emplace_back(key, value);
+}
+
+double TraceSpan::Finish() {
+  if (finished_seconds_ >= 0.0) return finished_seconds_;
+  const auto end = std::chrono::steady_clock::now();
+  finished_seconds_ =
+      std::chrono::duration<double>(end - start_).count();
+  if (recording_) {
+    event_.dur_us = finished_seconds_ * 1e6;
+    t_current_span = parent_;
+    TraceRecorder::Global().Append(std::move(event_));
+    recording_ = false;
+  }
+  return finished_seconds_;
+}
+
+void TraceInstant(const char* name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'i';
+  event.id = recorder.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  event.parent = t_current_span;
+  event.ts_us =
+      recorder.MicrosSinceEpoch(std::chrono::steady_clock::now());
+  recorder.Append(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace kamino

@@ -1,0 +1,162 @@
+#ifndef KAMINO_OBS_TRACE_H_
+#define KAMINO_OBS_TRACE_H_
+
+// Structured tracing: RAII `TraceSpan`s forming a per-thread hierarchy,
+// recorded as (thread id, monotonic begin, duration) into lock-light
+// per-thread buffers and exported as Chrome trace-event JSON — load the
+// dump in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The span tree is the single source of truth for phase timing:
+// `TraceSpan::Finish()` returns the measured duration whether or not the
+// recorder is enabled, so `PhaseTimings` is *derived* from the spans
+// instead of being filled by parallel stopwatches. Recording draws no
+// randomness and never touches pipeline state — output is bit-identical
+// with tracing on or off (asserted by the golden-digest regression in
+// tests/core/sharded_sampler_test.cc).
+//
+// Concurrency: each thread appends to its own buffer under that buffer's
+// private mutex (uncontended in steady state — the only other locker is
+// an exporting `Snapshot()`/`Clear()`). Buffers register with the global
+// recorder once per thread. Per-thread capacity is bounded
+// (`SetCapacity`); events past the cap are counted in `dropped()`
+// instead of growing without bound.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kamino {
+namespace obs {
+
+/// One recorded event. `ph == 'X'` is a complete span (begin + duration),
+/// `ph == 'i'` an instant event (duration 0).
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';
+  /// Microseconds since the recorder's epoch (monotonic clock).
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  /// Small dense id of the recording thread (0 = first thread seen).
+  uint32_t tid = 0;
+  /// Span id (unique per recording, > 0) and the id of the span that was
+  /// open on the same thread when this one began (0 = top level). Instant
+  /// events carry the enclosing span as `parent`.
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  /// Optional integer-valued annotations ("shard": 2, "rows": 150, ...).
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+/// The process-wide trace recorder. Disabled by default: spans still
+/// measure time (they are the pipeline's stopwatches) but record nothing.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void SetEnabled(bool enabled);
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Caps the events retained per thread buffer (default 1 << 20).
+  /// Events beyond the cap are dropped and counted, never recorded
+  /// partially.
+  void SetCapacity(size_t max_events_per_thread);
+
+  /// All recorded events, merged across thread buffers and sorted by
+  /// (ts, tid, id) — a deterministic order for tests and diffing.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON:
+  /// {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+  ///  "pid": 1, "tid": ..., "args": {...}}, ...]}.
+  /// Perfetto reconstructs the span tree from the nested [ts, ts+dur]
+  /// ranges per tid; the explicit id/parent annotations ride along in
+  /// "args" for programmatic consumers.
+  std::string ToJson() const;
+
+  /// Drops every recorded event and resets the drop counter (buffers and
+  /// ids stay registered; the epoch is unchanged).
+  void Clear();
+
+  /// Events discarded because a thread buffer hit its capacity.
+  uint64_t dropped() const;
+
+ private:
+  friend class TraceSpan;
+  friend void TraceInstant(const char* name);
+
+  struct ThreadBuffer;
+
+  TraceRecorder();
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer* LocalBuffer();
+  void Append(TraceEvent event);
+  double MicrosSinceEpoch(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint32_t> next_tid_{0};
+  std::atomic<size_t> capacity_{size_t{1} << 20};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // guards buffers_ registration/enumeration
+  std::vector<ThreadBuffer*> buffers_;  // leaked with the recorder
+};
+
+/// RAII span over the global recorder. Always measures wall clock (the
+/// pipeline derives `PhaseTimings` from it); records an 'X' event into
+/// the trace only if the recorder is enabled at construction. Spans nest
+/// per thread: the innermost live span on this thread becomes the new
+/// span's parent.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Finishes the span if `Finish` was not called explicitly.
+  ~TraceSpan();
+
+  /// Attaches an integer annotation (kept only when recording).
+  void AddArg(const char* key, int64_t value);
+
+  /// Ends the span, records its event (when enabled) and returns the
+  /// measured duration in seconds. Idempotent: later calls (and the
+  /// destructor) return the first call's duration without re-recording.
+  double Finish();
+
+  /// Seconds since construction, without ending the span.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double finished_seconds_ = -1.0;
+  bool recording_ = false;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  TraceEvent event_;  // staged; filled only when recording_
+};
+
+/// Records an instant event ('i') on the calling thread, parented to the
+/// innermost live span. No-op while the recorder is disabled.
+void TraceInstant(const char* name);
+
+}  // namespace obs
+}  // namespace kamino
+
+#endif  // KAMINO_OBS_TRACE_H_

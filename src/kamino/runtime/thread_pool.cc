@@ -1,14 +1,39 @@
 #include "kamino/runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 
 namespace kamino {
 namespace runtime {
 namespace {
 
 thread_local bool t_in_worker = false;
+
+/// Cached handles into the global registry: name lookup happens once, the
+/// hot paths touch only the metric's own atomics.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().gauge("kamino.runtime.queue_depth");
+  return gauge;
+}
+
+obs::Histogram* TaskLatencyHistogram() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global().histogram(
+      "kamino.runtime.task_seconds",
+      {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  return hist;
+}
+
+obs::Counter* JobQueueCounter(const char* which) {
+  return obs::MetricsRegistry::Global().counter(
+      std::string("kamino.jobqueue.") + which);
+}
 
 size_t ResolveNumThreads(size_t requested) {
   if (requested != 0) return requested;
@@ -43,6 +68,9 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    // Absolute depth under the queue mutex: toggling metrics mid-run can
+    // never skew the gauge the way a relative +1/-1 pair could.
+    QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -59,8 +87,17 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    if (obs::MetricsRegistry::Global().enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      TaskLatencyHistogram()->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      task();
+    }
   }
 }
 
@@ -119,6 +156,10 @@ std::shared_ptr<JobQueue::Job> JobQueue::Submit(JobBody body) {
     queue_.push_back(job);
   }
   cv_.notify_one();
+  obs::TraceInstant("jobqueue/queued");
+  if (obs::MetricsRegistry::Global().enabled()) {
+    JobQueueCounter("submitted")->Increment();
+  }
   return job;
 }
 
@@ -134,16 +175,27 @@ void JobQueue::RunnerLoop() {
     }
     if (job->token().cancel_requested()) {
       // Cancelled while queued: complete as skipped without running.
+      // Lifecycle metrics land before the state publishes, so a released
+      // Wait() always observes them.
       job->body_ = nullptr;
+      obs::TraceInstant("jobqueue/skipped");
+      if (obs::MetricsRegistry::Global().enabled()) {
+        JobQueueCounter("skipped")->Increment();
+      }
       job->SetState(JobState::kSkipped);
       continue;
     }
     job->SetState(JobState::kRunning);
+    obs::TraceInstant("jobqueue/running");
     job->body_(job->token());
     // Release the closure before signaling completion: a finished job
     // handle must not pin the body's captures (fitted models, sinks) for
     // however long the caller keeps it around.
     job->body_ = nullptr;
+    obs::TraceInstant("jobqueue/done");
+    if (obs::MetricsRegistry::Global().enabled()) {
+      JobQueueCounter("done")->Increment();
+    }
     job->SetState(JobState::kDone);
   }
 }

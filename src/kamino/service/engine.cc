@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 
 namespace kamino {
 namespace {
@@ -23,6 +27,16 @@ SampleSpec SpecOf(const SynthesisRequest& request) {
   return spec;
 }
 
+/// Engine-wide job sequence numbers; process-global so two engines in one
+/// process never hand out colliding trace-correlation ids.
+std::atomic<uint64_t> g_next_job_id{1};
+
+void BumpServiceCounter(const char* which, int64_t delta = 1) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.counter(std::string("kamino.service.") + which)->Increment(delta);
+}
+
 }  // namespace
 
 /// Job state shared between the handle, the queue body and the hooks.
@@ -30,6 +44,7 @@ SampleSpec SpecOf(const SynthesisRequest& request) {
 /// the result is guarded by `mu` and written exactly once, when the body
 /// finishes.
 struct SynthesisJob::Shared {
+  uint64_t id = 0;  // assigned once in Submit, read-only afterwards
   std::atomic<Phase> phase{Phase::kQueued};
   std::atomic<size_t> rows_total{0};
   std::atomic<size_t> rows_sampled{0};
@@ -54,6 +69,8 @@ SynthesisJob::Progress SynthesisJob::progress() const {
       shared_->chunks_delivered.load(std::memory_order_relaxed);
   return p;
 }
+
+uint64_t SynthesisJob::id() const { return shared_->id; }
 
 bool SynthesisJob::finished() const {
   const Phase phase = progress().phase;
@@ -129,18 +146,29 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
   auto job = std::shared_ptr<SynthesisJob>(new SynthesisJob());
   auto shared = std::make_shared<SynthesisJob::Shared>();
   job->shared_ = shared;
+  shared->id = g_next_job_id.fetch_add(1, std::memory_order_relaxed);
   const size_t rows_total =
       request.num_rows == 0 && model.valid() ? model.input_rows()
                                              : request.num_rows;
   shared->rows_total.store(rows_total, std::memory_order_relaxed);
+  BumpServiceCounter("jobs_submitted");
 
   job->queue_job_ = jobs_->Submit([shared, model, request](
                                       const runtime::CancelToken& token) {
     using Phase = SynthesisJob::Phase;
+    // The per-job trace handle: everything the job does (per-shard
+    // sampling, merge, chunk delivery) nests under this span.
+    obs::TraceSpan job_span("service/job");
+    job_span.AddArg("job", static_cast<int64_t>(shared->id));
+    job_span.AddArg(
+        "rows_total",
+        static_cast<int64_t>(
+            shared->rows_total.load(std::memory_order_relaxed)));
     if (!model.valid()) {
       std::lock_guard<std::mutex> lock(shared->mu);
       shared->status = Status::InvalidArgument("Submit needs a fitted model");
       shared->phase.store(Phase::kFailed, std::memory_order_relaxed);
+      BumpServiceCounter("jobs_failed");
       return;
     }
     shared->phase.store(Phase::kSampling, std::memory_order_relaxed);
@@ -166,6 +194,9 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
         shared->rows_committed.fetch_add(chunk.rows.num_rows(),
                                          std::memory_order_relaxed);
         shared->chunks_delivered.fetch_add(1, std::memory_order_relaxed);
+        BumpServiceCounter("chunks_delivered");
+        BumpServiceCounter("rows_delivered",
+                           static_cast<int64_t>(chunk.rows.num_rows()));
         return Status::OK();
       };
     }
@@ -179,11 +210,11 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
 
     std::lock_guard<std::mutex> lock(shared->mu);
     if (!out.ok()) {
+      const bool cancelled = out.status().code() == StatusCode::kCancelled;
       shared->status = out.status();
-      shared->phase.store(out.status().code() == StatusCode::kCancelled
-                              ? Phase::kCancelled
-                              : Phase::kFailed,
+      shared->phase.store(cancelled ? Phase::kCancelled : Phase::kFailed,
                           std::memory_order_relaxed);
+      BumpServiceCounter(cancelled ? "jobs_cancelled" : "jobs_failed");
       return;
     }
     shared->result.telemetry = telemetry;
@@ -198,6 +229,7 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
           std::memory_order_relaxed);
     }
     shared->phase.store(Phase::kDone, std::memory_order_relaxed);
+    BumpServiceCounter("jobs_done");
   });
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -209,6 +241,14 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
       submitted_.end());
   submitted_.push_back(job->queue_job_);
   return job;
+}
+
+std::string KaminoEngine::DumpMetrics() const {
+  return obs::MetricsRegistry::Global().ToJson();
+}
+
+std::string KaminoEngine::DumpTrace() const {
+  return obs::TraceRecorder::Global().ToJson();
 }
 
 }  // namespace kamino

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "kamino/common/logging.h"
@@ -178,6 +179,11 @@ class SynthesisJob {
 
   Progress progress() const;
 
+  /// Engine-wide job sequence number (1, 2, ...), assigned at Submit.
+  /// Matches the `job` arg of the job's "service/job" trace span, so a
+  /// handle can be correlated with its spans in the exported trace.
+  uint64_t id() const;
+
   /// True once the job reached a terminal phase.
   bool finished() const;
 
@@ -250,6 +256,17 @@ class KaminoEngine {
   /// outlive the job.
   std::shared_ptr<SynthesisJob> Submit(const FittedModel& model,
                                        const SynthesisRequest& request);
+
+  /// JSON snapshot of the process-wide metrics registry (counters,
+  /// gauges, histograms — see README "Observability" for the catalog).
+  /// Meaningful after a run with `enable_metrics`; otherwise the
+  /// registered metrics are present with zero values.
+  std::string DumpMetrics() const;
+
+  /// Chrome trace-event JSON of every span recorded so far (load in
+  /// Perfetto / chrome://tracing). Meaningful after a run with
+  /// `enable_tracing`; otherwise an empty trace.
+  std::string DumpTrace() const;
 
  private:
   std::shared_ptr<runtime::ThreadPool> pool_;

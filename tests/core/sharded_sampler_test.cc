@@ -15,6 +15,8 @@
 #include "kamino/core/sequencing.h"
 #include "kamino/data/generators.h"
 #include "kamino/dc/violations.h"
+#include "kamino/obs/metrics.h"
+#include "kamino/obs/trace.h"
 #include "kamino/runtime/thread_pool.h"
 
 namespace kamino {
@@ -96,6 +98,47 @@ TEST(ShardedSamplerTest, NumShardsOneMatchesPreRefactorSequentialSampler) {
   std::snprintf(actual, sizeof(actual), "0x%016" PRIx64, TableDigest(out));
   EXPECT_EQ(std::string(actual), "0x214d31f811dbdd0f")
       << "sequential sampler output changed";
+}
+
+TEST(ShardedSamplerTest, GoldenDigestUnchangedWithTracingOn) {
+  // The observability invariant: recording spans and metrics never
+  // influences control flow, so the exact golden scenario above must
+  // produce the same digest with tracing + metrics enabled — at one
+  // thread and at four (events interleave differently; output must not).
+  obs::TraceRecorder::Global().SetEnabled(true);
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  BenchmarkDataset ds = MakeAdultLike(120, 7);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  auto sequence = SequenceSchema(ds.table.schema(), constraints);
+  KaminoOptions options;
+  options.non_private = true;
+  options.iterations = 12;
+  options.mcmc_resamples = 48;
+  options.seed = 31;
+  for (const size_t num_threads : {size_t{1}, size_t{4}}) {
+    ScopedNumThreads threads(num_threads);
+    Rng rng(31);
+    auto model =
+        ProbabilisticDataModel::Train(ds.table, sequence, options, &rng)
+            .TakeValue();
+    Rng srng(17);
+    Table out = Synthesize(model, constraints, 150, options, &srng).TakeValue();
+    char actual[32];
+    std::snprintf(actual, sizeof(actual), "0x%016" PRIx64, TableDigest(out));
+    EXPECT_EQ(std::string(actual), "0x214d31f811dbdd0f")
+        << "tracing changed the output at num_threads=" << num_threads;
+  }
+  // The run actually recorded something (the invariant is about output,
+  // not about tracing being a no-op).
+  EXPECT_FALSE(obs::TraceRecorder::Global().Snapshot().empty());
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().counter("kamino.sampler.runs")->Value(),
+      0);
+  obs::TraceRecorder::Global().SetEnabled(false);
+  obs::TraceRecorder::Global().Clear();
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  obs::MetricsRegistry::Global().Reset();
 }
 
 /// Full pipeline on a mixed hard-DC workload (FD + order DC) at the given

@@ -2,18 +2,22 @@
 // BuildViolationMatrix (Algorithm 5), constraint-aware synthesis
 // (Algorithm 3) and DP-SGD training (Algorithm 2) — at 1/2/4/N threads on
 // the generated 600-row Adult workload, plus a cross-thread-count
-// determinism check, the 1/2/4/8 shard sweep, and the sorted order-DC and
-// composite mixed-DC engines vs the naive pair scan at growing n. Emits
-// BENCH_parallel.json for the perf trajectory.
+// determinism check, the 1/2/4/8 shard sweep, the sorted order-DC and
+// composite mixed-DC engines vs the naive pair scan at growing n, and the
+// columnar core (packed-key index build, block shard merge, chunk codec)
+// vs the boxed row-oriented equivalents. Emits BENCH_parallel.json for
+// the perf trajectory.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/harness.h"
+#include "kamino/data/chunk_codec.h"
 #include "kamino/dc/violations.h"
 #include "kamino/obs/metrics.h"
 #include "kamino/obs/trace.h"
@@ -303,6 +307,148 @@ int Main() {
               mixed_counts_agree ? "IDENTICAL (exact)" : "MISMATCH");
   runtime::SetGlobalNumThreads(0);
 
+  // --- Columnar core: packed-key grouping, block shard merge, and the
+  // chunk codec, vs the row-oriented equivalents they replaced. The
+  // boxed baselines reproduce the pre-columnar semantics inline (Value
+  // keys hashed through ValueHash into a node-based map; per-row boxed
+  // appends), so the ratio isolates the layout change. Single-threaded.
+  runtime::SetGlobalNumThreads(1);
+  bool columnar_agree = true;
+  std::printf("\n%-28s %8s %12s %12s %9s\n", "method", "rows", "boxed-sec",
+              "columnar-sec", "speedup");
+  struct BoxedKey {
+    std::vector<Value> values;
+    bool operator==(const BoxedKey& o) const {
+      if (values.size() != o.values.size()) return false;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (!(values[i] == o.values[i])) return false;
+      }
+      return true;
+    }
+  };
+  struct BoxedKeyHash {
+    size_t operator()(const BoxedKey& k) const {
+      size_t h = 1469598103934665603ull;
+      for (const Value& v : k.values) {
+        h ^= ValueHash{}(v);
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+  for (size_t n : {size_t{600}, size_t{2400}, size_t{9600}}) {
+    const BenchmarkDataset tax = MakeTaxLike(n, kSeed);
+    const std::vector<WeightedConstraint> tax_dcs = Constraints(tax);
+    std::vector<WeightedConstraint> fd_dcs;
+    std::vector<std::pair<std::vector<size_t>, size_t>> fds;
+    for (const WeightedConstraint& wc : tax_dcs) {
+      std::vector<size_t> lhs;
+      size_t rhs = 0;
+      if (wc.dc.AsFd(&lhs, &rhs)) {
+        fd_dcs.push_back(wc);
+        fds.emplace_back(std::move(lhs), rhs);
+      }
+    }
+    KAMINO_CHECK(!fd_dcs.empty()) << "tax workload lost its FDs";
+
+    // FD violation-index build: per-row (group_size - cell_size) columns.
+    auto boxed_fd_columns = [&] {
+      std::vector<std::vector<double>> cols;
+      for (const auto& [lhs, rhs] : fds) {
+        std::unordered_map<BoxedKey, int64_t, BoxedKeyHash> groups, cells;
+        std::vector<BoxedKey> gkeys(n), ckeys(n);
+        for (size_t i = 0; i < n; ++i) {
+          BoxedKey g;
+          g.values.reserve(lhs.size());
+          for (size_t a : lhs) g.values.push_back(tax.table.at(i, a));
+          BoxedKey cell = g;
+          cell.values.push_back(tax.table.at(i, rhs));
+          ++groups[g];
+          ++cells[cell];
+          gkeys[i] = std::move(g);
+          ckeys[i] = std::move(cell);
+        }
+        std::vector<double> col(n);
+        for (size_t i = 0; i < n; ++i) {
+          col[i] = static_cast<double>(groups[gkeys[i]] - cells[ckeys[i]]);
+        }
+        cols.push_back(std::move(col));
+      }
+      return cols;
+    };
+    std::vector<std::vector<double>> boxed_cols;
+    std::vector<std::vector<double>> packed_matrix;
+    const double boxed_build =
+        TimeBest(3, [&] { boxed_cols = boxed_fd_columns(); });
+    const double packed_build = TimeBest(
+        3, [&] { packed_matrix = BuildViolationMatrix(tax.table, fd_dcs); });
+    for (size_t l = 0; l < fds.size(); ++l) {
+      for (size_t i = 0; i < n; ++i) {
+        if (packed_matrix[i][l] != boxed_cols[l][i]) columnar_agree = false;
+      }
+    }
+    records.push_back({"boxed_index_build", n, 1, boxed_build});
+    records.push_back({"columnar_index_build", n, 1, packed_build});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "columnar_index_build",
+                n, boxed_build, packed_build, boxed_build / packed_build);
+
+    // Shard merge: 4 shard slices concatenated into one instance —
+    // per-row boxed appends vs the columnar block copy.
+    std::vector<Table> shards;
+    const size_t per = n / 4;
+    for (size_t s = 0; s < 4; ++s) {
+      const size_t lo = s * per;
+      const size_t len = s + 1 == 4 ? n - lo : per;
+      shards.push_back(tax.table.Slice(lo, len));
+    }
+    Table merged_rowwise(tax.table.schema());
+    Table merged_columnar(tax.table.schema());
+    const double rowwise_merge = TimeBest(3, [&] {
+      Table out(tax.table.schema());
+      for (const Table& s : shards) {
+        for (size_t i = 0; i < s.num_rows(); ++i) {
+          out.AppendRowUnchecked(s.row(i));
+        }
+      }
+      merged_rowwise = std::move(out);
+    });
+    const double columnar_merge = TimeBest(3, [&] {
+      Table out(tax.table.schema());
+      for (const Table& s : shards) {
+        out.AppendRowsFrom(s, 0, s.num_rows());
+      }
+      merged_columnar = std::move(out);
+    });
+    if (!SameTable(merged_rowwise, merged_columnar) ||
+        !SameTable(merged_columnar, tax.table)) {
+      columnar_agree = false;
+    }
+    records.push_back({"rowwise_shard_merge", n, 1, rowwise_merge});
+    records.push_back({"columnar_shard_merge", n, 1, columnar_merge});
+    std::printf("%-28s %8zu %12.4f %12.4f %8.1fx\n", "columnar_shard_merge",
+                n, rowwise_merge, columnar_merge,
+                rowwise_merge / columnar_merge);
+
+    // Chunk codec: encoded payload vs the raw Value payload it replaces
+    // on the wire (bytes recorded in the value slot of the record).
+    const std::vector<uint8_t> encoded = EncodeChunkColumns(tax.table);
+    auto decoded = DecodeChunkColumns(tax.table.schema(), encoded);
+    KAMINO_CHECK(decoded.ok()) << decoded.status();
+    if (!SameTable(decoded.value(), tax.table)) columnar_agree = false;
+    const size_t raw_bytes = RawChunkBytes(tax.table);
+    records.push_back({"chunk_encode_bytes", n, 1,
+                       static_cast<double>(encoded.size())});
+    records.push_back({"chunk_raw_bytes", n, 1,
+                       static_cast<double>(raw_bytes)});
+    std::printf("%-28s %8zu %12zu %12zu %8.1fx\n", "chunk_encode_bytes", n,
+                raw_bytes, encoded.size(),
+                static_cast<double>(raw_bytes) /
+                    static_cast<double>(encoded.size()));
+  }
+  std::printf("\ncolumnar vs boxed results: %s\n",
+              columnar_agree ? "IDENTICAL (exact)" : "MISMATCH");
+  runtime::SetGlobalNumThreads(0);
+
   // --- Hot path 7: the session engine (fit-once / synthesize-many). ---
   // One fit amortizes over N synthesis requests: the break-even point vs
   // N full RunKamino calls is fit/(fit_per_run_saved) = 1, i.e. every
@@ -428,8 +574,8 @@ int Main() {
 
   WriteBenchJson("BENCH_parallel.json", records);
   return deterministic && shards_deterministic && order_counts_agree &&
-                 mixed_counts_agree && service_deterministic &&
-                 obs_output_identical
+                 mixed_counts_agree && columnar_agree &&
+                 service_deterministic && obs_output_identical
              ? 0
              : 1;
 }

@@ -141,6 +141,15 @@ struct KaminoOptions {
   /// set (Validate rejects the combination that could record nothing).
   size_t trace_capacity_events = size_t{1} << 20;
 
+  // --- Streaming delivery (src/kamino/data/chunk_codec.h) ---
+  /// Deliver `TableChunk`s as compressed per-column payloads (dictionary
+  /// codes bit-packed against the chunk-local range, numeric columns
+  /// frame-of-reference / run-length / raw bit patterns, smallest wins)
+  /// instead of materialized rows. Sinks decode with
+  /// `DecodeChunkColumns`; round trips are bit-exact, so the delivered
+  /// rows are unchanged — only their wire form is. Off by default.
+  bool compress_chunks = false;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
 

@@ -147,6 +147,7 @@ Result<Table> SamplePipeline(const FitArtifacts& fitted,
     options.num_threads = spec.num_threads;
     runtime::SetGlobalNumThreads(spec.num_threads);
   }
+  if (spec.compress_chunks) options.compress_chunks = true;
   ApplyObservabilityOptions(options);
   const size_t n = spec.num_rows == 0 ? fitted.input_rows : spec.num_rows;
 

@@ -83,6 +83,10 @@ struct SampleSpec {
   /// Thread-budget override; kUnset keeps the process-wide budget as the
   /// fit configured it. Never changes the output, only wall clock.
   size_t num_threads = kUnset;
+  /// Deliver streamed `TableChunk`s as compressed per-column payloads
+  /// (see `KaminoOptions::compress_chunks`). Never changes the rows,
+  /// only their wire form.
+  bool compress_chunks = false;
 
   static constexpr size_t kUnset = static_cast<size_t>(-1);
 };

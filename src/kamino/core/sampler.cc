@@ -10,6 +10,7 @@
 
 #include "kamino/common/logging.h"
 #include "kamino/core/sequencing.h"
+#include "kamino/data/chunk_codec.h"
 #include "kamino/dc/violations.h"
 #include "kamino/obs/metrics.h"
 #include "kamino/obs/trace.h"
@@ -191,9 +192,12 @@ double FullTablePenalty(const Row& row, size_t self, const Table& table,
     if (dc.is_unary()) {
       vio = dc.ViolatesUnary(row) ? 1 : 0;
     } else {
+      // Columnar probe: the partner tuple reads straight from the typed
+      // columns instead of materializing table.row(j) per comparison —
+      // this loop dominates MCMC resampling cost.
       for (size_t j = 0; j < table.num_rows(); ++j) {
         if (j == self) continue;
-        if (dc.ViolatesPair(row, table.row(j))) ++vio;
+        if (dc.ViolatesPairAt(row, table, j)) ++vio;
       }
     }
     if (vio > 0) {
@@ -1088,12 +1092,14 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
 }
 
 /// Streams the reconciled instance to `hooks->on_chunk` shard by shard:
-/// ascending row offsets, each shard exactly once, tiling [0, n). The
-/// chunks copy their rows out of `out`, so the sink may keep them alive
-/// past the call.
+/// ascending row offsets, each shard exactly once, tiling [0, n). Each
+/// chunk slices its rows out of `out` as per-column block copies, so the
+/// sink may keep them alive past the call; under
+/// `options.compress_chunks` the slice travels as an encoded per-column
+/// payload instead of materialized rows.
 Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
                   const std::vector<size_t>& offsets,
-                  const SynthesisHooks* hooks) {
+                  const KaminoOptions& options, const SynthesisHooks* hooks) {
   if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
   for (size_t s = 0; s < sizes.size(); ++s) {
     if (!KeepGoing(hooks)) return CancelledStatus();
@@ -1105,9 +1111,14 @@ Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
     chunk.shard = s;
     chunk.row_offset = offsets[s];
     chunk.last = s + 1 == sizes.size();
-    chunk.rows = Table(out.schema());
-    for (size_t r = offsets[s]; r < offsets[s] + sizes[s]; ++r) {
-      chunk.rows.AppendRowUnchecked(out.row(r));
+    Table slice = out.Slice(offsets[s], sizes[s]);
+    if (options.compress_chunks) {
+      chunk.encoded = EncodeChunkColumns(slice);
+      chunk.encoded_rows = slice.num_rows();
+      chunk.rows = Table(out.schema());  // schema-only carrier
+      span.AddArg("encoded_bytes", static_cast<int64_t>(chunk.encoded.size()));
+    } else {
+      chunk.rows = std::move(slice);
     }
     KAMINO_RETURN_IF_ERROR(hooks->on_chunk(chunk));
   }
@@ -1167,7 +1178,7 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
           /*allow_nested_parallel=*/true, hooks, rng, telemetry, &out,
           &indices));
     }
-    KAMINO_RETURN_IF_ERROR(EmitChunks(out, {n}, {0}, hooks));
+    KAMINO_RETURN_IF_ERROR(EmitChunks(out, {n}, {0}, options, hooks));
     RecordSamplerMetrics(*telemetry, n);
     return out;
   }
@@ -1209,12 +1220,11 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
       }));
   if (!KeepGoing(hooks)) return CancelledStatus();
 
-  // Fixed-order aggregation of rows and telemetry.
+  // Fixed-order aggregation of rows and telemetry. Shard concatenation is
+  // one block copy per column (no per-row Value boxing).
   Table out(schema);
   for (const ShardState& shard : shards) {
-    for (size_t r = 0; r < shard.table.num_rows(); ++r) {
-      out.AppendRowUnchecked(shard.table.row(r));
-    }
+    out.AppendRowsFrom(shard.table, 0, shard.table.num_rows());
     telemetry->ar_proposals += shard.telemetry.ar_proposals;
     telemetry->fd_fast_path_hits += shard.telemetry.fd_fast_path_hits;
     telemetry->mcmc_resamples += shard.telemetry.mcmc_resamples;
@@ -1237,7 +1247,7 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
   }
   // Every row is final once reconciliation returns; stream the shards out
   // in ascending row-offset order before handing back the full table.
-  KAMINO_RETURN_IF_ERROR(EmitChunks(out, sizes, offsets, hooks));
+  KAMINO_RETURN_IF_ERROR(EmitChunks(out, sizes, offsets, options, hooks));
   RecordSamplerMetrics(*telemetry, n);
   return out;
 }

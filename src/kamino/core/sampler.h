@@ -22,11 +22,24 @@ struct TableChunk {
   size_t shard = 0;
   /// Global row index of `rows.row(0)` in the assembled instance.
   size_t row_offset = 0;
-  /// The slice's rows, in final (reconciled) form.
+  /// The slice's rows, in final (reconciled) form. When the run delivers
+  /// compressed payloads (`KaminoOptions::compress_chunks`) this table is
+  /// schema-only (zero rows) and `encoded` carries the slice instead.
   Table rows;
+  /// Compressed per-column payload (`EncodeChunkColumns`), non-empty only
+  /// under `compress_chunks`. Decode with `DecodeChunkColumns` against
+  /// `rows.schema()`.
+  std::vector<uint8_t> encoded;
+  /// Row count carried by `encoded` (0 when delivering materialized rows).
+  size_t encoded_rows = 0;
   /// True on the final chunk of the run — together the chunks tile
   /// [0, n) without gap or overlap.
   bool last = false;
+
+  bool compressed() const { return !encoded.empty(); }
+  /// Rows in this chunk regardless of representation — row accounting
+  /// must use this, not `rows.num_rows()`.
+  size_t num_rows() const { return compressed() ? encoded_rows : rows.num_rows(); }
 };
 
 /// Observer/control hooks threaded through `Synthesize` by the session

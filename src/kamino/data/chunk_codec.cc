@@ -1,0 +1,434 @@
+#include "kamino/data/chunk_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace kamino {
+namespace {
+
+// Per-column block tags. Categorical and numeric tags are disjoint so a
+// payload decoded against the wrong schema kind fails loudly.
+enum BlockTag : uint8_t {
+  kConstCode = 0,   // [i32 code]
+  kPackedCodes = 1, // [i32 base][u8 width][bit-packed deltas]
+  kRleCodes = 2,    // [u32 runs]([u32 len][i32 code])*
+  kConstBits = 3,   // [u64 bits]
+  kPackedInts = 4,  // [f64 base][u8 width][bit-packed deltas]
+  kRleBits = 5,     // [u32 runs]([u32 len][u64 bits])*
+  kRawBits = 6,     // [u64 bits]*
+};
+
+void AppendU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Bounded little-endian reader; every read checks the remaining length so
+/// truncated payloads surface as a status, not a crash.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t{data_[pos_++]} << (8 * i);
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t{data_[pos_++]} << (8 * i);
+    return true;
+  }
+
+  bool ReadBytes(const uint8_t** p, size_t count) {
+    if (pos_ + count > size_) return false;
+    *p = data_ + pos_;
+    pos_ += count;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Bits needed to represent `range` (>= 1 even for range 0, so packed
+/// blocks never claim zero-width cells).
+uint8_t BitWidthFor(uint64_t range) {
+  uint8_t w = 1;
+  while (w < 64 && (range >> w) != 0) ++w;
+  return w;
+}
+
+/// LSB-first bit packing of `width`-bit values. `width` <= 56 so the
+/// accumulator never overflows (56 value bits + 7 carried bits < 64).
+void PackBits(const std::vector<uint64_t>& vals, uint8_t width,
+              std::vector<uint8_t>* out) {
+  uint64_t acc = 0;
+  int nbits = 0;
+  for (uint64_t v : vals) {
+    acc |= v << nbits;
+    nbits += width;
+    while (nbits >= 8) {
+      out->push_back(acc & 0xff);
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  if (nbits > 0) out->push_back(acc & 0xff);
+}
+
+bool UnpackBits(ByteReader* in, size_t n, uint8_t width,
+                std::vector<uint64_t>* vals) {
+  const size_t nbytes = (n * width + 7) / 8;
+  const uint8_t* bytes = nullptr;
+  if (width == 0 || width > 56 || !in->ReadBytes(&bytes, nbytes)) return false;
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  vals->resize(n);
+  uint64_t acc = 0;
+  int nbits = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (nbits < width) {
+      acc |= uint64_t{bytes[pos++]} << nbits;
+      nbits += 8;
+    }
+    (*vals)[i] = acc & mask;
+    acc >>= width;
+    nbits -= width;
+  }
+  return true;
+}
+
+size_t PackedBytes(size_t n, uint8_t width) { return (n * width + 7) / 8; }
+
+template <typename T>
+size_t CountRuns(const std::vector<T>& vals) {
+  size_t runs = 0;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i == 0 || !(vals[i] == vals[i - 1])) ++runs;
+  }
+  return runs;
+}
+
+void EncodeCategorical(const std::vector<int32_t>& codes,
+                       std::vector<uint8_t>* out) {
+  const size_t n = codes.size();
+  int32_t lo = codes[0], hi = codes[0];
+  for (int32_t c : codes) {
+    lo = c < lo ? c : lo;
+    hi = c > hi ? c : hi;
+  }
+  if (lo == hi) {
+    AppendU8(out, kConstCode);
+    AppendU32(out, static_cast<uint32_t>(lo));
+    return;
+  }
+  const uint8_t width = BitWidthFor(
+      static_cast<uint64_t>(static_cast<int64_t>(hi) - static_cast<int64_t>(lo)));
+  const size_t packed_size = 4 + 1 + PackedBytes(n, width);
+  const size_t rle_size = 4 + 8 * CountRuns(codes);
+  if (rle_size < packed_size) {
+    AppendU8(out, kRleCodes);
+    AppendU32(out, static_cast<uint32_t>(CountRuns(codes)));
+    for (size_t i = 0; i < n;) {
+      size_t j = i;
+      while (j < n && codes[j] == codes[i]) ++j;
+      AppendU32(out, static_cast<uint32_t>(j - i));
+      AppendU32(out, static_cast<uint32_t>(codes[i]));
+      i = j;
+    }
+    return;
+  }
+  AppendU8(out, kPackedCodes);
+  AppendU32(out, static_cast<uint32_t>(lo));
+  AppendU8(out, width);
+  std::vector<uint64_t> deltas(n);
+  for (size_t i = 0; i < n; ++i) {
+    deltas[i] =
+        static_cast<uint64_t>(static_cast<int64_t>(codes[i]) - static_cast<int64_t>(lo));
+  }
+  PackBits(deltas, width, out);
+}
+
+void EncodeNumeric(const std::vector<double>& nums,
+                   std::vector<uint8_t>* out) {
+  const size_t n = nums.size();
+  bool all_same_bits = true;
+  const uint64_t first_bits = DoubleBits(nums[0]);
+  for (double v : nums) {
+    if (DoubleBits(v) != first_bits) {
+      all_same_bits = false;
+      break;
+    }
+  }
+  if (all_same_bits) {
+    AppendU8(out, kConstBits);
+    AppendU64(out, first_bits);
+    return;
+  }
+  // Frame-of-reference eligibility: every value an exact integer with a
+  // modest range. -0.0 and NaN are excluded (base + delta would not
+  // reproduce their bit patterns), as are magnitudes past 2^52 (integer
+  // spacing > 1) and ranges too wide to pack profitably.
+  bool integral = true;
+  double lo = nums[0], hi = nums[0];
+  for (double v : nums) {
+    if (!(std::floor(v) == v) || std::abs(v) > 4503599627370496.0 ||
+        (v == 0.0 && std::signbit(v))) {
+      integral = false;
+      break;
+    }
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  size_t for_size = ~size_t{0};
+  uint8_t width = 0;
+  if (integral && hi - lo < 72057594037927936.0 /* 2^56 */) {
+    width = BitWidthFor(static_cast<uint64_t>(hi - lo));
+    if (width <= 56) for_size = 8 + 1 + PackedBytes(n, width);
+  }
+  std::vector<uint64_t> bits(n);
+  for (size_t i = 0; i < n; ++i) bits[i] = DoubleBits(nums[i]);
+  const size_t rle_size = 4 + 12 * CountRuns(bits);
+  const size_t raw_size = 8 * n;
+  if (for_size <= rle_size && for_size <= raw_size) {
+    AppendU8(out, kPackedInts);
+    AppendU64(out, DoubleBits(lo));
+    AppendU8(out, width);
+    std::vector<uint64_t> deltas(n);
+    for (size_t i = 0; i < n; ++i) {
+      deltas[i] = static_cast<uint64_t>(nums[i] - lo);
+    }
+    PackBits(deltas, width, out);
+    return;
+  }
+  if (rle_size < raw_size) {
+    AppendU8(out, kRleBits);
+    AppendU32(out, static_cast<uint32_t>(CountRuns(bits)));
+    for (size_t i = 0; i < n;) {
+      size_t j = i;
+      while (j < n && bits[j] == bits[i]) ++j;
+      AppendU32(out, static_cast<uint32_t>(j - i));
+      AppendU64(out, bits[i]);
+      i = j;
+    }
+    return;
+  }
+  AppendU8(out, kRawBits);
+  for (uint64_t b : bits) AppendU64(out, b);
+}
+
+Status Truncated() {
+  return Status::InvalidArgument("chunk payload truncated");
+}
+
+Status DecodeCategorical(ByteReader* in, size_t n, Column* col) {
+  uint8_t tag = 0;
+  if (!in->ReadU8(&tag)) return Truncated();
+  switch (tag) {
+    case kConstCode: {
+      uint32_t code = 0;
+      if (!in->ReadU32(&code)) return Truncated();
+      for (size_t i = 0; i < n; ++i) {
+        col->Append(Value::Categorical(static_cast<int32_t>(code)));
+      }
+      return Status::OK();
+    }
+    case kPackedCodes: {
+      uint32_t base = 0;
+      uint8_t width = 0;
+      std::vector<uint64_t> deltas;
+      if (!in->ReadU32(&base) || !in->ReadU8(&width) ||
+          !UnpackBits(in, n, width, &deltas)) {
+        return Truncated();
+      }
+      for (uint64_t d : deltas) {
+        col->Append(Value::Categorical(static_cast<int32_t>(
+            static_cast<int64_t>(static_cast<int32_t>(base)) +
+            static_cast<int64_t>(d))));
+      }
+      return Status::OK();
+    }
+    case kRleCodes: {
+      uint32_t runs = 0;
+      if (!in->ReadU32(&runs)) return Truncated();
+      size_t total = 0;
+      for (uint32_t r = 0; r < runs; ++r) {
+        uint32_t len = 0, code = 0;
+        if (!in->ReadU32(&len) || !in->ReadU32(&code)) return Truncated();
+        total += len;
+        if (total > n) {
+          return Status::InvalidArgument("chunk RLE overruns row count");
+        }
+        for (uint32_t i = 0; i < len; ++i) {
+          col->Append(Value::Categorical(static_cast<int32_t>(code)));
+        }
+      }
+      if (total != n) {
+        return Status::InvalidArgument("chunk RLE underruns row count");
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "unexpected block tag for categorical column: " +
+          std::to_string(tag));
+  }
+}
+
+Status DecodeNumeric(ByteReader* in, size_t n, Column* col) {
+  uint8_t tag = 0;
+  if (!in->ReadU8(&tag)) return Truncated();
+  switch (tag) {
+    case kConstBits: {
+      uint64_t bits = 0;
+      if (!in->ReadU64(&bits)) return Truncated();
+      for (size_t i = 0; i < n; ++i) {
+        col->Append(Value::Numeric(BitsDouble(bits)));
+      }
+      return Status::OK();
+    }
+    case kPackedInts: {
+      uint64_t base_bits = 0;
+      uint8_t width = 0;
+      std::vector<uint64_t> deltas;
+      if (!in->ReadU64(&base_bits) || !in->ReadU8(&width) ||
+          !UnpackBits(in, n, width, &deltas)) {
+        return Truncated();
+      }
+      const double base = BitsDouble(base_bits);
+      for (uint64_t d : deltas) {
+        col->Append(Value::Numeric(base + static_cast<double>(d)));
+      }
+      return Status::OK();
+    }
+    case kRleBits: {
+      uint32_t runs = 0;
+      if (!in->ReadU32(&runs)) return Truncated();
+      size_t total = 0;
+      for (uint32_t r = 0; r < runs; ++r) {
+        uint32_t len = 0;
+        uint64_t bits = 0;
+        if (!in->ReadU32(&len) || !in->ReadU64(&bits)) return Truncated();
+        total += len;
+        if (total > n) {
+          return Status::InvalidArgument("chunk RLE overruns row count");
+        }
+        for (uint32_t i = 0; i < len; ++i) {
+          col->Append(Value::Numeric(BitsDouble(bits)));
+        }
+      }
+      if (total != n) {
+        return Status::InvalidArgument("chunk RLE underruns row count");
+      }
+      return Status::OK();
+    }
+    case kRawBits: {
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t bits = 0;
+        if (!in->ReadU64(&bits)) return Truncated();
+        col->Append(Value::Numeric(BitsDouble(bits)));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "unexpected block tag for numeric column: " + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeChunkColumns(const Table& rows) {
+  std::vector<uint8_t> out;
+  const size_t n = rows.num_rows();
+  AppendU64(&out, n);
+  AppendU32(&out, static_cast<uint32_t>(rows.num_columns()));
+  if (n == 0) return out;
+  for (size_t c = 0; c < rows.num_columns(); ++c) {
+    const Column& col = rows.columns().column(c);
+    if (col.is_categorical()) {
+      EncodeCategorical(col.codes(), &out);
+    } else {
+      EncodeNumeric(col.nums(), &out);
+    }
+  }
+  return out;
+}
+
+Result<Table> DecodeChunkColumns(const Schema& schema,
+                                 const std::vector<uint8_t>& bytes) {
+  ByteReader in(bytes.data(), bytes.size());
+  uint64_t n = 0;
+  uint32_t num_columns = 0;
+  if (!in.ReadU64(&n) || !in.ReadU32(&num_columns)) return Truncated();
+  if (num_columns != schema.size()) {
+    return Status::InvalidArgument(
+        "chunk column count " + std::to_string(num_columns) +
+        " != schema arity " + std::to_string(schema.size()));
+  }
+  Table out(schema);
+  if (n == 0) {
+    if (!in.exhausted()) {
+      return Status::InvalidArgument("trailing bytes after empty chunk");
+    }
+    return out;
+  }
+  // Decode each block into a scratch column of the schema kind, then copy
+  // the cells in. The block tags were already checked against the column
+  // kind, so Set never coerces across kinds.
+  out.ResizeRows(n);
+  for (size_t c = 0; c < schema.size(); ++c) {
+    Column scratch(Column::TypeFor(schema.attribute(c)));
+    scratch.Reserve(n);
+    Status status = schema.attribute(c).is_categorical()
+                        ? DecodeCategorical(&in, n, &scratch)
+                        : DecodeNumeric(&in, n, &scratch);
+    KAMINO_RETURN_IF_ERROR(status);
+    for (size_t r = 0; r < n; ++r) {
+      out.set(r, c, scratch.Get(r));
+    }
+  }
+  if (!in.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after last column");
+  }
+  return out;
+}
+
+size_t RawChunkBytes(const Table& rows) {
+  return rows.num_rows() * rows.num_columns() * sizeof(Value);
+}
+
+}  // namespace kamino

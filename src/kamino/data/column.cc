@@ -1,0 +1,56 @@
+#include "kamino/data/column.h"
+
+namespace kamino {
+namespace {
+
+/// Block append that tolerates `src` aliasing `dst` (self-append): insert
+/// from a range into the same vector is undefined, so the aliased case
+/// reserves first (keeping the source indices valid) and copies by index.
+template <typename T>
+void AppendBlock(std::vector<T>* dst, const std::vector<T>& src,
+                 size_t offset, size_t count) {
+  if (dst == &src) {
+    dst->reserve(dst->size() + count);
+    for (size_t i = 0; i < count; ++i) dst->push_back((*dst)[offset + i]);
+    return;
+  }
+  dst->insert(dst->end(), src.begin() + offset, src.begin() + offset + count);
+}
+
+}  // namespace
+
+void Column::AppendSlice(const Column& src, size_t offset, size_t count) {
+  assert(src.type_ == type_);
+  if (is_categorical()) {
+    AppendBlock(&codes_, src.codes_, offset, count);
+  } else {
+    AppendBlock(&nums_, src.nums_, offset, count);
+  }
+}
+
+void ColumnTable::ResizeRows(size_t n) {
+  for (Column& c : columns_) {
+    c.Resize(0);  // discard, then grow: assign semantics, not append
+    c.Resize(n);
+  }
+  num_rows_ = n;
+}
+
+void ColumnTable::AppendRow(const std::vector<Value>& row) {
+  assert(row.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].Append(row[c]);
+  }
+  ++num_rows_;
+}
+
+void ColumnTable::AppendSlice(const ColumnTable& src, size_t offset,
+                              size_t count) {
+  assert(src.columns_.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendSlice(src.columns_[c], offset, count);
+  }
+  num_rows_ += count;
+}
+
+}  // namespace kamino

@@ -1,0 +1,159 @@
+#ifndef KAMINO_DATA_COLUMN_H_
+#define KAMINO_DATA_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "kamino/data/schema.h"
+#include "kamino/data/value.h"
+
+namespace kamino {
+
+/// Typed storage for one attribute of a relation: a packed `double` array
+/// for numeric attributes or a packed `int32_t` dictionary-code array for
+/// categorical ones (the dictionary itself lives on the `Attribute`, so
+/// codes are all a column needs). Fixed width, no per-cell validity or
+/// kind tag — the column's type is the single source of truth for every
+/// cell, which is what lets the DC engines and the chunk codec read whole
+/// columns as contiguous arrays.
+class Column {
+ public:
+  enum class Type : uint8_t { kNumeric, kCategorical };
+
+  Column() = default;
+  explicit Column(Type type) : type_(type) {}
+
+  /// The column type matching an attribute's domain kind.
+  static Type TypeFor(const Attribute& attr) {
+    return attr.is_categorical() ? Type::kCategorical : Type::kNumeric;
+  }
+
+  Type type() const { return type_; }
+  bool is_categorical() const { return type_ == Type::kCategorical; }
+  bool is_numeric() const { return type_ == Type::kNumeric; }
+
+  size_t size() const {
+    return is_categorical() ? codes_.size() : nums_.size();
+  }
+
+  /// Grows or shrinks to `n` cells; new cells hold the type's zero value
+  /// (code 0 / 0.0).
+  void Resize(size_t n) {
+    if (is_categorical()) {
+      codes_.resize(n, 0);
+    } else {
+      nums_.resize(n, 0.0);
+    }
+  }
+
+  void Reserve(size_t n) {
+    if (is_categorical()) {
+      codes_.reserve(n);
+    } else {
+      nums_.reserve(n);
+    }
+  }
+
+  /// Appends `v`'s payload. Values are expected to match the column type;
+  /// a mismatched kind stores its `OrderKey` fold (index as number /
+  /// truncated number as code), mirroring how predicates already compare
+  /// across kinds.
+  void Append(const Value& v) {
+    if (is_categorical()) {
+      codes_.push_back(CodeOf(v));
+    } else {
+      nums_.push_back(v.OrderKey());
+    }
+  }
+
+  void Set(size_t i, const Value& v) {
+    if (is_categorical()) {
+      codes_[i] = CodeOf(v);
+    } else {
+      nums_[i] = v.OrderKey();
+    }
+  }
+
+  /// Reconstructs the cell as a tagged `Value` of the column's kind.
+  Value Get(size_t i) const {
+    return is_categorical() ? Value::Categorical(codes_[i])
+                            : Value::Numeric(nums_[i]);
+  }
+
+  /// Typed spans (valid only for the matching column type).
+  const std::vector<double>& nums() const {
+    assert(is_numeric());
+    return nums_;
+  }
+  const std::vector<int32_t>& codes() const {
+    assert(is_categorical());
+    return codes_;
+  }
+
+  /// Appends `count` cells of `src` starting at `offset` — a contiguous
+  /// block copy, the primitive behind shard concatenation and chunk
+  /// slicing. `src` must have the same type.
+  void AppendSlice(const Column& src, size_t offset, size_t count);
+
+ private:
+  static int32_t CodeOf(const Value& v) {
+    return v.is_categorical() ? v.category()
+                              : static_cast<int32_t>(v.OrderKey());
+  }
+
+  Type type_ = Type::kNumeric;
+  std::vector<double> nums_;    // type kNumeric
+  std::vector<int32_t> codes_;  // type kCategorical
+};
+
+/// The column-major core of a relation instance: one typed `Column` per
+/// schema attribute plus an explicit row count (so zero-column schemas
+/// still track cardinality). `Table` (data/table.h) wraps this with the
+/// row-oriented view API; hot paths read the typed columns directly.
+class ColumnTable {
+ public:
+  ColumnTable() = default;
+  explicit ColumnTable(const Schema& schema) {
+    columns_.reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      columns_.emplace_back(Column::TypeFor(schema.attribute(c)));
+    }
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  Column& column(size_t c) { return columns_[c]; }
+  const Column& column(size_t c) const { return columns_[c]; }
+
+  Value at(size_t row, size_t col) const { return columns_[col].Get(row); }
+  void set(size_t row, size_t col, const Value& v) {
+    columns_[col].Set(row, v);
+  }
+
+  /// Re-allocates to `n` rows of typed zero values (code 0 / 0.0),
+  /// discarding prior content (same contract as the row-major
+  /// `Table::ResizeRows` it backs).
+  void ResizeRows(size_t n);
+
+  void Reserve(size_t n) {
+    for (Column& c : columns_) c.Reserve(n);
+  }
+
+  /// Appends one row across the columns. `row` must match the column
+  /// count (checked by the caller; `Table::AppendRow` validates domains).
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Appends `count` rows of `src` starting at row `offset`: one block
+  /// copy per column, no per-cell dispatch.
+  void AppendSlice(const ColumnTable& src, size_t offset, size_t count);
+
+ private:
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace kamino
+
+#endif  // KAMINO_DATA_COLUMN_H_

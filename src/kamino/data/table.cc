@@ -17,46 +17,47 @@ Status Table::AppendRow(Row row) {
                                      schema_.attribute(i).name());
     }
   }
-  rows_.push_back(std::move(row));
+  columns_.AppendRow(row);
   return Status::OK();
 }
 
-void Table::ResizeRows(size_t n) {
-  rows_.assign(n, Row(schema_.size()));
-}
-
+// Deprecated accessor kept for migration; the implementation itself may
+// touch the typed columns without tripping the deprecation warning.
 std::vector<Value> Table::Column(size_t col) const {
   std::vector<Value> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) out.push_back(r[col]);
+  out.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) out.push_back(columns_.at(r, col));
+  return out;
+}
+
+Table Table::Slice(size_t offset, size_t count) const {
+  Table out(schema_);
+  out.columns_.Reserve(count);
+  out.columns_.AppendSlice(columns_, offset, count);
   return out;
 }
 
 Table Table::SampleRows(double p, Rng* rng) const {
   Table out(schema_);
-  for (const Row& r : rows_) {
-    if (rng->Bernoulli(p)) out.AppendRowUnchecked(r);
+  for (size_t r = 0; r < num_rows(); ++r) {
+    if (rng->Bernoulli(p)) out.columns_.AppendSlice(columns_, r, 1);
   }
   return out;
 }
 
 Table Table::Head(size_t n) const {
-  Table out(schema_);
-  for (size_t i = 0; i < rows_.size() && i < n; ++i) {
-    out.AppendRowUnchecked(rows_[i]);
-  }
-  return out;
+  const size_t count = n < num_rows() ? n : num_rows();
+  return Slice(0, count);
 }
 
 std::string Table::CellToString(size_t row, size_t col) const {
-  const Value& v = rows_[row][col];
   const Attribute& a = schema_.attribute(col);
   if (a.is_categorical()) {
-    auto label = a.CategoryLabel(v.category());
+    auto label = a.CategoryLabel(at(row, col).category());
     return label.ok() ? label.value() : "<bad-category>";
   }
   std::ostringstream os;
-  os << v.numeric();
+  os << at(row, col).numeric();
   return os.str();
 }
 

@@ -6,6 +6,7 @@
 
 #include "kamino/common/rng.h"
 #include "kamino/common/status.h"
+#include "kamino/data/column.h"
 #include "kamino/data/schema.h"
 #include "kamino/data/value.h"
 
@@ -16,36 +17,95 @@ using Row = std::vector<Value>;
 
 /// A database instance: a schema plus a bag of rows.
 ///
-/// Tables are row-major and value cells are validated against the schema on
-/// `AppendRow`. The synthesizers construct tables column-by-column, so
-/// `Table` also supports allocating `n` blank rows up front and writing
-/// individual cells.
+/// Storage is column-major (`ColumnTable`: packed `double` numerics and
+/// `int32_t` dictionary codes per attribute). The row-oriented API is kept
+/// as a view so callers migrate incrementally: `at`/`set` delegate into the
+/// typed columns, and `row(i)` materializes the tuple on demand — bind it
+/// to a `const Row&` (lifetime-extended) or reuse a scratch row through
+/// `CopyRowInto` in loops. Hot paths should read the typed columns
+/// directly via `columns()` / `numeric_data()` / `code_data()`.
+///
+/// Note on blank rows: `ResizeRows` fills cells with the *column type's*
+/// zero value — `Categorical(0)` in categorical columns where the old
+/// row-major core produced a default (numeric 0.0) `Value`. Pipeline
+/// readers only touch cells after they are written (the activation map
+/// guarantees it), so the change is unobservable there.
 class Table {
  public:
   Table() = default;
-  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_) {}
 
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_rows() const { return columns_.num_rows(); }
   size_t num_columns() const { return schema_.size(); }
 
-  const Row& row(size_t i) const { return rows_[i]; }
-  const Value& at(size_t row, size_t col) const { return rows_[row][col]; }
-  void set(size_t row, size_t col, const Value& v) { rows_[row][col] = v; }
+  /// Materializes row `i` from the columns. Returns by value (the
+  /// column-major core has no resident `Row` to reference); binding to
+  /// `const Row&` at call sites keeps the temporary alive.
+  Row row(size_t i) const {
+    Row out;
+    out.reserve(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      out.push_back(columns_.at(i, c));
+    }
+    return out;
+  }
+
+  /// Re-materializes row `i` into `out` (resized to the arity), reusing
+  /// its capacity — the allocation-free form of `row(i)` for loops.
+  void CopyRowInto(size_t i, Row* out) const {
+    out->resize(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      (*out)[c] = columns_.at(i, c);
+    }
+  }
+
+  Value at(size_t row, size_t col) const { return columns_.at(row, col); }
+  void set(size_t row, size_t col, const Value& v) {
+    columns_.set(row, col, v);
+  }
 
   /// Appends a row after validating arity and per-cell domain membership.
   Status AppendRow(Row row);
 
   /// Appends a row without validation (hot path for generators/samplers
   /// that construct values straight from the domain).
-  void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendRowUnchecked(const Row& row) { columns_.AppendRow(row); }
 
-  /// Allocates `n` rows filled with default values, to be populated
-  /// column-by-column.
-  void ResizeRows(size_t n);
+  /// Allocates `n` rows filled with the columns' zero values (code 0 /
+  /// 0.0), to be populated column-by-column.
+  void ResizeRows(size_t n) { columns_.ResizeRows(n); }
 
-  /// Returns one column as a vector.
+  /// The typed column-major core (contiguous per-attribute arrays).
+  const ColumnTable& columns() const { return columns_; }
+
+  /// Contiguous payload of a numeric column (valid while the table is not
+  /// resized or appended to).
+  const std::vector<double>& numeric_data(size_t col) const {
+    return columns_.column(col).nums();
+  }
+
+  /// Contiguous dictionary codes of a categorical column.
+  const std::vector<int32_t>& code_data(size_t col) const {
+    return columns_.column(col).codes();
+  }
+
+  /// Returns one column as a vector of tagged values.
+  /// Deprecated: this copies and boxes every cell — read the typed spans
+  /// (`numeric_data` / `code_data`) or `columns()` instead.
+  [[deprecated(
+      "copies the column as boxed Values; use numeric_data()/code_data()")]]
   std::vector<Value> Column(size_t col) const;
+
+  /// Appends `count` rows of `src` starting at row `offset` — one block
+  /// copy per column. Schemas must have identical column types.
+  void AppendRowsFrom(const Table& src, size_t offset, size_t count) {
+    columns_.AppendSlice(src.columns_, offset, count);
+  }
+
+  /// A new table with the same schema holding rows [offset, offset+count).
+  Table Slice(size_t offset, size_t count) const;
 
   /// Returns a table with the same schema and a Bernoulli(p) subsample of
   /// rows (the Poisson subsampling used by DP-SGD and weight learning).
@@ -59,7 +119,7 @@ class Table {
 
  private:
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnTable columns_;
 };
 
 }  // namespace kamino

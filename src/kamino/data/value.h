@@ -72,10 +72,24 @@ class Value {
 
 /// Hash functor so values can key unordered containers (e.g. the FD fast
 /// path index in the sampler).
+///
+/// The kind participates through a full avalanche mix, not a low-bit XOR:
+/// `Categorical(i)` and `Numeric(double(i))` share an `OrderKey`, and
+/// flipping only bit 1 of the payload hash kept them in nearby (often the
+/// same, for power-of-two bucket counts masking low bits) hash buckets,
+/// degrading FD group lookups on mixed-kind keys to near-chains.
 struct ValueHash {
   size_t operator()(const Value& v) const {
-    size_t h = std::hash<double>()(v.OrderKey());
-    return h ^ (static_cast<size_t>(v.kind()) << 1);
+    uint64_t h = std::hash<double>()(v.OrderKey());
+    if (v.kind() == Value::Kind::kCategorical) {
+      // splitmix64 finalizer: every input bit affects every output bit,
+      // so the two kinds land in unrelated buckets.
+      h += 0x9e3779b97f4a7c15ull;
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+      h ^= h >> 31;
+    }
+    return static_cast<size_t>(h);
   }
 };
 

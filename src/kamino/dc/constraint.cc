@@ -236,12 +236,58 @@ bool DenialConstraint::FiresOrdered(const Row& a, const Row& b) const {
   return true;
 }
 
+namespace {
+
+/// Shared predicate-conjunction kernel over two cell accessors — the
+/// binding logic mirrors Predicate::Eval exactly (tuple 0 reads from `a`,
+/// tuple 1 from `b`) but lets each side come from a Row or straight from
+/// the typed columns without materializing the other tuple.
+template <typename GetA, typename GetB>
+bool FiresOrderedOn(const std::vector<Predicate>& predicates, const GetA& a,
+                    const GetB& b) {
+  for (const Predicate& p : predicates) {
+    const Value lhs = p.lhs_tuple == 0 ? a(p.lhs_attr) : b(p.lhs_attr);
+    bool holds;
+    if (p.rhs_is_constant) {
+      holds = EvalCompare(lhs, p.op, p.rhs_constant);
+    } else {
+      const Value rhs = p.rhs_tuple == 0 ? a(p.rhs_attr) : b(p.rhs_attr);
+      holds = EvalCompare(lhs, p.op, rhs);
+    }
+    if (!holds) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool DenialConstraint::ViolatesPair(const Row& a, const Row& b) const {
   return FiresOrdered(a, b) || FiresOrdered(b, a);
 }
 
+bool DenialConstraint::ViolatesPairAt(const Row& a, const Table& table,
+                                      size_t j) const {
+  const auto get_a = [&a](size_t attr) { return a[attr]; };
+  const auto get_j = [&table, j](size_t attr) { return table.at(j, attr); };
+  return FiresOrderedOn(predicates_, get_a, get_j) ||
+         FiresOrderedOn(predicates_, get_j, get_a);
+}
+
+bool DenialConstraint::ViolatesPairRows(const Table& table, size_t i,
+                                        size_t j) const {
+  const auto get_i = [&table, i](size_t attr) { return table.at(i, attr); };
+  const auto get_j = [&table, j](size_t attr) { return table.at(j, attr); };
+  return FiresOrderedOn(predicates_, get_i, get_j) ||
+         FiresOrderedOn(predicates_, get_j, get_i);
+}
+
 bool DenialConstraint::ViolatesUnary(const Row& a) const {
   return FiresOrdered(a, a);
+}
+
+bool DenialConstraint::ViolatesUnaryAt(const Table& table, size_t i) const {
+  const auto get = [&table, i](size_t attr) { return table.at(i, attr); };
+  return FiresOrderedOn(predicates_, get, get);
 }
 
 bool DenialConstraint::AsFd(std::vector<size_t>* lhs, size_t* rhs) const {

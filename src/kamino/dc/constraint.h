@@ -174,8 +174,20 @@ class DenialConstraint {
   /// orientation fires). For unary DCs this must not be used.
   bool ViolatesPair(const Row& a, const Row& b) const;
 
+  /// Columnar form of `ViolatesPair` with the second tuple read straight
+  /// from `table`'s typed columns — the scan loops' replacement for
+  /// materializing `table.row(j)` per probe.
+  bool ViolatesPairAt(const Row& a, const Table& table, size_t j) const;
+
+  /// Columnar form with *both* tuples read from the typed columns (the
+  /// pair-scan kernels: no Row materializes at all).
+  bool ViolatesPairRows(const Table& table, size_t i, size_t j) const;
+
   /// True when the single tuple violates a unary DC.
   bool ViolatesUnary(const Row& a) const;
+
+  /// Columnar form of `ViolatesUnary`.
+  bool ViolatesUnaryAt(const Table& table, size_t i) const;
 
   /// If the DC has functional-dependency shape
   ///   !(t1.X1 == t2.X1 & ... & t1.Xm == t2.Xm & t1.Y != t2.Y)

@@ -1,6 +1,8 @@
 #include "kamino/dc/violations.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -75,11 +77,140 @@ FdKey RowKey(const Row& row, const std::vector<size_t>& attrs) {
   return key;
 }
 
-/// Counts violating unordered pairs of an FD-shaped DC by grouping: within
-/// an LHS group of size g whose RHS value multiplicities are c_v, the
-/// violating pairs are C(g,2) - sum_v C(c_v,2).
-int64_t CountFdViolations(const std::vector<size_t>& lhs, size_t rhs,
-                          const Table& table) {
+// ---------------------------------------------------------------------------
+// Packed equality keys over the typed columns.
+//
+// The whole-table grouped counts below (FD violations, scoped pairs,
+// composite scope terms, order-DC grouping) used to project each row into
+// a vector<Value> key and hash-group those. The columnar core makes the
+// key a flat sequence of u64 words read straight from the typed arrays:
+// dictionary codes widen to u64 and numeric cells contribute their bit
+// pattern, so word equality coincides with Value equality (-0.0 is
+// canonicalized to +0.0 first, the one bit-pattern split inside a Value
+// equivalence class). NaN breaks the correspondence the other way
+// (NaN != NaN as a Value, but its bit pattern equals itself), so `Build`
+// refuses key columns containing NaN and callers fall back to the boxed
+// RowKey path.
+// ---------------------------------------------------------------------------
+
+/// Row-major packed key words: row i's key is `words_per_row()`
+/// consecutive u64s, one per key attribute.
+class PackedKeyColumns {
+ public:
+  static std::optional<PackedKeyColumns> Build(
+      const Table& table, const std::vector<size_t>& attrs) {
+    PackedKeyColumns out;
+    const size_t n = table.num_rows();
+    const size_t k = attrs.size();
+    out.num_rows_ = n;
+    out.words_per_row_ = k;
+    out.words_.resize(n * k);
+    for (size_t slot = 0; slot < k; ++slot) {
+      const Column& col = table.columns().column(attrs[slot]);
+      uint64_t* dst = out.words_.data() + slot;
+      if (col.is_categorical()) {
+        const int32_t* codes = col.codes().data();
+        for (size_t i = 0; i < n; ++i, dst += k) {
+          *dst = static_cast<uint64_t>(static_cast<int64_t>(codes[i]));
+        }
+      } else {
+        const double* nums = col.nums().data();
+        for (size_t i = 0; i < n; ++i, dst += k) {
+          const double v = nums[i];
+          if (v != v) return std::nullopt;  // NaN: word != Value equality
+          const double canonical = v == 0.0 ? 0.0 : v;  // fold -0.0 in
+          uint64_t bits;
+          std::memcpy(&bits, &canonical, sizeof(bits));
+          *dst = bits;
+        }
+      }
+    }
+    return out;
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t words_per_row() const { return words_per_row_; }
+  const uint64_t* row(size_t i) const {
+    return words_.data() + i * words_per_row_;
+  }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Dense group ids (first-occurrence order) for every row: linear-probing
+/// insert-or-find over the packed words, the columnar replacement for
+/// `unordered_map<FdKey, ...>` grouping. An empty key (no attributes) puts
+/// every row in group 0, matching the single empty RowKey.
+std::vector<uint32_t> PackedGroupIds(const PackedKeyColumns& keys,
+                                     size_t* num_groups) {
+  const size_t n = keys.num_rows();
+  const size_t k = keys.words_per_row();
+  std::vector<uint32_t> gid(n, 0);
+  if (k == 0) {
+    *num_groups = n == 0 ? 0 : 1;
+    return gid;
+  }
+  size_t cap = 16;
+  while (cap < 2 * n) cap *= 2;
+  const size_t mask = cap - 1;
+  constexpr uint32_t kEmpty = 0xffffffffu;
+  std::vector<uint32_t> slot_group(cap, kEmpty);
+  std::vector<uint32_t> reps;  // representative row of each group
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t* w = keys.row(i);
+    // FNV-1a over the key words, with a final fold so power-of-two
+    // masking sees high-entropy low bits.
+    uint64_t h = 1469598103934665603ull;
+    for (size_t t = 0; t < k; ++t) {
+      h ^= w[t];
+      h *= 1099511628211ull;
+    }
+    h ^= h >> 32;
+    size_t slot = static_cast<size_t>(h) & mask;
+    while (true) {
+      const uint32_t g = slot_group[slot];
+      if (g == kEmpty) {
+        gid[i] = static_cast<uint32_t>(reps.size());
+        slot_group[slot] = gid[i];
+        reps.push_back(static_cast<uint32_t>(i));
+        break;
+      }
+      const uint64_t* rep = keys.row(reps[g]);
+      bool equal = true;
+      for (size_t t = 0; t < k; ++t) {
+        if (rep[t] != w[t]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        gid[i] = g;
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+  *num_groups = reps.size();
+  return gid;
+}
+
+/// One attribute's OrderKey sequence as a contiguous double span: numeric
+/// columns expose their payload array directly, categorical columns widen
+/// their codes once into `scratch`.
+const double* OrderKeySpan(const Table& table, size_t attr,
+                           std::vector<double>* scratch) {
+  const Column& col = table.columns().column(attr);
+  if (col.is_numeric()) return col.nums().data();
+  scratch->assign(col.codes().begin(), col.codes().end());
+  return scratch->data();
+}
+
+/// Boxed-key fallback of `CountFdViolations` for key columns with NaN.
+int64_t CountFdViolationsRowKeyed(const std::vector<size_t>& lhs, size_t rhs,
+                                  const Table& table) {
   std::unordered_map<FdKey, std::unordered_map<Value, int64_t, ValueHash>,
                      FdKeyHash>
       groups;
@@ -97,6 +228,38 @@ int64_t CountFdViolations(const std::vector<size_t>& lhs, size_t rhs,
     }
     violations += PairsOf(group_size) - same;
   }
+  return violations;
+}
+
+/// Counts violating unordered pairs of an FD-shaped DC by grouping: within
+/// an LHS group of size g whose RHS value multiplicities are c_v, the
+/// violating pairs are C(g,2) - sum_v C(c_v,2). Grouping runs on packed
+/// column words; (LHS, RHS) multiplicities are just a second grouping on
+/// the key extended by the RHS attribute.
+int64_t CountFdViolations(const std::vector<size_t>& lhs, size_t rhs,
+                          const Table& table) {
+  std::optional<PackedKeyColumns> lhs_keys =
+      PackedKeyColumns::Build(table, lhs);
+  std::vector<size_t> both = lhs;
+  both.push_back(rhs);
+  std::optional<PackedKeyColumns> both_keys =
+      PackedKeyColumns::Build(table, both);
+  if (!lhs_keys.has_value() || !both_keys.has_value()) {
+    return CountFdViolationsRowKeyed(lhs, rhs, table);
+  }
+  size_t num_groups = 0;
+  size_t num_cells = 0;
+  const std::vector<uint32_t> gid = PackedGroupIds(*lhs_keys, &num_groups);
+  const std::vector<uint32_t> cid = PackedGroupIds(*both_keys, &num_cells);
+  std::vector<int64_t> group_size(num_groups, 0);
+  std::vector<int64_t> cell_size(num_cells, 0);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    ++group_size[gid[i]];
+    ++cell_size[cid[i]];
+  }
+  int64_t violations = 0;
+  for (int64_t g : group_size) violations += PairsOf(g);
+  for (int64_t c : cell_size) violations -= PairsOf(c);
   return violations;
 }
 
@@ -340,9 +503,8 @@ std::vector<double> YUniverse(const std::vector<OrderPoint>& points) {
   return keys;
 }
 
-/// Partitions `table` into the DC's equality groups, each an x-sorted
-/// point vector.
-std::vector<std::vector<OrderPoint>> GroupOrderPoints(
+/// Boxed-key fallback of `GroupOrderPoints` for group columns with NaN.
+std::vector<std::vector<OrderPoint>> GroupOrderPointsRowKeyed(
     const GroupedOrderSpec& spec, const Table& table) {
   std::unordered_map<FdKey, std::vector<OrderPoint>, FdKeyHash> by_group;
   for (size_t i = 0; i < table.num_rows(); ++i) {
@@ -356,6 +518,36 @@ std::vector<std::vector<OrderPoint>> GroupOrderPoints(
   for (auto& [key, points] : by_group) {
     std::sort(points.begin(), points.end(), OrderPointByX);
     groups.push_back(std::move(points));
+  }
+  return groups;
+}
+
+/// Partitions `table` into the DC's equality groups, each an x-sorted
+/// point vector. Grouping runs on packed column words and the sort keys
+/// come straight from the typed x/y arrays; group order in the result is
+/// first-occurrence (consumers only sum per-group counts, so the order is
+/// immaterial).
+std::vector<std::vector<OrderPoint>> GroupOrderPoints(
+    const GroupedOrderSpec& spec, const Table& table) {
+  std::optional<PackedKeyColumns> keys =
+      PackedKeyColumns::Build(table, spec.group_attrs);
+  if (!keys.has_value()) return GroupOrderPointsRowKeyed(spec, table);
+  const size_t n = table.num_rows();
+  size_t num_groups = 0;
+  const std::vector<uint32_t> gid = PackedGroupIds(*keys, &num_groups);
+  std::vector<double> x_scratch, y_scratch;
+  const double* xs = OrderKeySpan(table, spec.x_attr, &x_scratch);
+  const double* ys = OrderKeySpan(table, spec.y_attr, &y_scratch);
+  std::vector<size_t> sizes(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) ++sizes[gid[i]];
+  std::vector<std::vector<OrderPoint>> groups(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) groups[g].reserve(sizes[g]);
+  for (size_t i = 0; i < n; ++i) {
+    const double oriented = spec.co_monotone ? ys[i] : -ys[i];
+    groups[gid[i]].push_back({xs[i], oriented, i});
+  }
+  for (auto& points : groups) {
+    std::sort(points.begin(), points.end(), OrderPointByX);
   }
   return groups;
 }
@@ -902,9 +1094,21 @@ class CompositeViolationIndex : public ViolationIndex {
 };
 
 /// Pairs agreeing on `key_attrs` (all pairs for an empty key): the
-/// offline form of a scope block.
+/// offline form of a scope block. Grouping runs on packed column words,
+/// falling back to boxed keys when a key column holds NaN.
 int64_t CountScopedPairs(const std::vector<size_t>& key_attrs,
                          const Table& table) {
+  std::optional<PackedKeyColumns> keys =
+      PackedKeyColumns::Build(table, key_attrs);
+  if (keys.has_value()) {
+    size_t num_groups = 0;
+    const std::vector<uint32_t> gid = PackedGroupIds(*keys, &num_groups);
+    std::vector<int64_t> group_size(num_groups, 0);
+    for (uint32_t g : gid) ++group_size[g];
+    int64_t pairs = 0;
+    for (int64_t g : group_size) pairs += PairsOf(g);
+    return pairs;
+  }
   std::unordered_map<FdKey, int64_t, FdKeyHash> counts;
   for (size_t i = 0; i < table.num_rows(); ++i) {
     ++counts[RowKey(table.row(i), key_attrs)];
@@ -943,6 +1147,19 @@ void CompositeViolationColumn(const PredicateDecomposition& d,
       }
       continue;
     }
+    // Scope term: each row contributes its group size minus itself.
+    std::optional<PackedKeyColumns> keys =
+        PackedKeyColumns::Build(table, t.key_attrs);
+    if (keys.has_value()) {
+      size_t num_groups = 0;
+      const std::vector<uint32_t> gid = PackedGroupIds(*keys, &num_groups);
+      std::vector<int64_t> group_size(num_groups, 0);
+      for (uint32_t g : gid) ++group_size[g];
+      for (size_t i = 0; i < n; ++i) {
+        (*column)[i] += t.sign * (group_size[gid[i]] - 1);
+      }
+      continue;
+    }
     std::unordered_map<FdKey, int64_t, FdKeyHash> counts;
     for (size_t i = 0; i < n; ++i) ++counts[RowKey(table.row(i), t.key_attrs)];
     for (size_t i = 0; i < n; ++i) {
@@ -974,7 +1191,7 @@ int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
   if (dc.is_unary()) {
     int64_t count = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (dc.ViolatesUnary(table.row(i))) ++count;
+      if (dc.ViolatesUnaryAt(table, i)) ++count;
     }
     return count;
   }
@@ -988,7 +1205,7 @@ int64_t CountViolationsNaive(const DenialConstraint& dc, const Table& table) {
     int64_t count = 0;
     for (size_t i = lo; i < hi; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        if (dc.ViolatesPair(table.row(i), table.row(j))) ++count;
+        if (dc.ViolatesPairRows(table, i, j)) ++count;
       }
     }
     partial[k] = count;
@@ -1040,7 +1257,7 @@ int64_t CountNewViolations(const DenialConstraint& dc, const Row& row,
   KAMINO_CHECK(prefix_len <= table.num_rows());
   int64_t count = 0;
   for (size_t j = 0; j < prefix_len; ++j) {
-    if (dc.ViolatesPair(row, table.row(j))) ++count;
+    if (dc.ViolatesPairAt(row, table, j)) ++count;
   }
   return count;
 }
@@ -1054,7 +1271,7 @@ std::vector<std::vector<double>> BuildViolationMatrix(
     const DenialConstraint& dc = constraints[l].dc;
     if (dc.is_unary()) {
       runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
-        matrix[i][l] = dc.ViolatesUnary(table.row(i)) ? 1.0 : 0.0;
+        matrix[i][l] = dc.ViolatesUnaryAt(table, i) ? 1.0 : 0.0;
       });
       continue;
     }
@@ -1062,10 +1279,36 @@ std::vector<std::vector<double>> BuildViolationMatrix(
     size_t fd_rhs = 0;
     if (dc.AsFd(&fd_lhs, &fd_rhs)) {
       // Equality-only (FD-shaped) DC: hash-partition instead of the O(n^2)
-      // pair scan. One sequential pass builds the LHS group stats, then
-      // each row's violation count is |group| - |same (LHS, RHS)| — the
-      // committed row cancels itself out of both terms. Exact integer
-      // counts, so the column matches the pair scan bit for bit.
+      // pair scan. Each row's violation count is |LHS group| - |same
+      // (LHS, RHS)| — the committed row cancels itself out of both terms.
+      // Both groupings run on packed column words (see PackedKeyColumns);
+      // exact integer counts, so the column matches the pair scan bit for
+      // bit. NaN in a key column falls back to the boxed FD index.
+      std::optional<PackedKeyColumns> lhs_keys =
+          PackedKeyColumns::Build(table, fd_lhs);
+      std::vector<size_t> both = fd_lhs;
+      both.push_back(fd_rhs);
+      std::optional<PackedKeyColumns> both_keys =
+          PackedKeyColumns::Build(table, both);
+      if (lhs_keys.has_value() && both_keys.has_value()) {
+        size_t num_groups = 0;
+        size_t num_cells = 0;
+        const std::vector<uint32_t> gid =
+            PackedGroupIds(*lhs_keys, &num_groups);
+        const std::vector<uint32_t> cid =
+            PackedGroupIds(*both_keys, &num_cells);
+        std::vector<int64_t> group_size(num_groups, 0);
+        std::vector<int64_t> cell_size(num_cells, 0);
+        for (size_t i = 0; i < n; ++i) {
+          ++group_size[gid[i]];
+          ++cell_size[cid[i]];
+        }
+        runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
+          matrix[i][l] =
+              static_cast<double>(group_size[gid[i]] - cell_size[cid[i]]);
+        });
+        continue;
+      }
       FdViolationIndex groups(fd_lhs, fd_rhs);
       for (size_t i = 0; i < n; ++i) groups.AddRow(table.row(i));
       runtime::ParallelForEach(0, n, kPairScanGrain, [&](size_t i) {
@@ -1119,7 +1362,7 @@ std::vector<std::vector<double>> BuildViolationMatrix(
       std::vector<double> column(n, 0.0);
       for (size_t i = lo; i < hi; ++i) {
         for (size_t j = i + 1; j < n; ++j) {
-          if (dc.ViolatesPair(table.row(i), table.row(j))) {
+          if (dc.ViolatesPairRows(table, i, j)) {
             column[i] += 1.0;
             column[j] += 1.0;
           }

@@ -24,6 +24,7 @@ SampleSpec SpecOf(const SynthesisRequest& request) {
   spec.seed = request.seed;
   spec.num_shards = request.num_shards;
   spec.num_threads = request.num_threads;
+  spec.compress_chunks = request.compress_chunks;
   return spec;
 }
 
@@ -191,12 +192,14 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
         shared->phase.store(SynthesisJob::Phase::kDelivering,
                             std::memory_order_relaxed);
         KAMINO_RETURN_IF_ERROR(sink->OnChunk(chunk));
-        shared->rows_committed.fetch_add(chunk.rows.num_rows(),
+        // num_rows() covers both representations (materialized rows and
+        // compressed payloads carry the same logical slice).
+        shared->rows_committed.fetch_add(chunk.num_rows(),
                                          std::memory_order_relaxed);
         shared->chunks_delivered.fetch_add(1, std::memory_order_relaxed);
         BumpServiceCounter("chunks_delivered");
         BumpServiceCounter("rows_delivered",
-                           static_cast<int64_t>(chunk.rows.num_rows()));
+                           static_cast<int64_t>(chunk.num_rows()));
         return Status::OK();
       };
     }

@@ -132,6 +132,11 @@ struct SynthesisRequest {
   /// Optional streaming delivery (see RowSink for the order guarantee).
   /// Must outlive the job.
   RowSink* sink = nullptr;
+  /// Deliver chunks to `sink` as compressed per-column payloads
+  /// (`TableChunk::encoded`, decode with `DecodeChunkColumns`) instead of
+  /// materialized rows. The delivered rows are unchanged — only their
+  /// wire form is. Ignored without a sink.
+  bool compress_chunks = false;
   /// When false, the result's `synthetic` table is left empty — rows are
   /// observable through `sink` only. Saves the final copy for consumers
   /// that forward chunks elsewhere anyway.

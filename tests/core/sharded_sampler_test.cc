@@ -141,6 +141,50 @@ TEST(ShardedSamplerTest, GoldenDigestUnchangedWithTracingOn) {
   obs::MetricsRegistry::Global().Reset();
 }
 
+TEST(ShardedSamplerTest, GoldenDigestGridAcrossThreadsAndShards) {
+  // The columnar-core regression grid: the golden scenario at every
+  // num_threads in {1, 4} x num_shards in {1, 2, 4}. Output is a pure
+  // function of (seed, num_shards) — the digest may differ per shard
+  // count but must be thread-independent within one, and shards=1 must
+  // still reproduce the pre-refactor sequential digest exactly.
+  BenchmarkDataset ds = MakeAdultLike(120, 7);
+  auto constraints =
+      ParseConstraints(ds.dc_specs, ds.hardness, ds.table.schema()).TakeValue();
+  auto sequence = SequenceSchema(ds.table.schema(), constraints);
+  for (const size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    std::string baseline;
+    for (const size_t num_threads : {size_t{1}, size_t{4}}) {
+      ScopedNumThreads threads(num_threads);
+      KaminoOptions options;
+      options.non_private = true;
+      options.iterations = 12;
+      options.mcmc_resamples = 48;
+      options.seed = 31;
+      options.num_shards = num_shards;
+      Rng rng(31);
+      auto model =
+          ProbabilisticDataModel::Train(ds.table, sequence, options, &rng)
+              .TakeValue();
+      Rng srng(17);
+      Table out =
+          Synthesize(model, constraints, 150, options, &srng).TakeValue();
+      char actual[32];
+      std::snprintf(actual, sizeof(actual), "0x%016" PRIx64, TableDigest(out));
+      if (num_threads == 1) {
+        baseline = actual;
+      } else {
+        EXPECT_EQ(std::string(actual), baseline)
+            << "thread budget changed the output at num_shards="
+            << num_shards;
+      }
+    }
+    if (num_shards == 1) {
+      EXPECT_EQ(baseline, "0x214d31f811dbdd0f")
+          << "sequential golden digest drifted";
+    }
+  }
+}
+
 /// Full pipeline on a mixed hard-DC workload (FD + order DC) at the given
 /// thread and shard budget.
 KaminoResult RunPipeline(size_t num_threads, size_t num_shards) {

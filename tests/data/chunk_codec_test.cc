@@ -1,0 +1,201 @@
+#include "kamino/data/chunk_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+namespace {
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Bit-exact cell comparison: kind, codes, and numeric *bit patterns*
+/// (so NaN payloads and -0.0 count as differences).
+void ExpectBitIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      const Value va = a.at(r, c);
+      const Value vb = b.at(r, c);
+      ASSERT_EQ(va.kind(), vb.kind()) << "cell (" << r << ", " << c << ")";
+      if (va.is_categorical()) {
+        EXPECT_EQ(va.category(), vb.category())
+            << "cell (" << r << ", " << c << ")";
+      } else {
+        EXPECT_EQ(BitsOf(va.numeric()), BitsOf(vb.numeric()))
+            << "cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+Schema MixedSchema() {
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("c0", {"a", "b", "c", "d", "e"}),
+      Attribute::MakeCategorical("c1", {"x", "y"}),
+      Attribute::MakeNumeric("n0", -1e9, 1e9, 1000),
+      Attribute::MakeNumeric("n1", -1e9, 1e9, 1000),
+  };
+  return Schema(attrs);
+}
+
+TEST(ChunkCodecTest, RoundTripFuzz) {
+  Rng rng(97);
+  const Schema schema = MixedSchema();
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(0, 300));
+    Table table(schema);
+    for (size_t i = 0; i < n; ++i) {
+      // A mix of regimes per trial: constant stretches (RLE), small
+      // dictionary codes (bit-packing), integral numerics (frame of
+      // reference), and arbitrary doubles (raw bit patterns).
+      const int64_t regime = rng.UniformInt(0, 3);
+      double num0 = 0.0;
+      double num1 = 0.0;
+      switch (regime) {
+        case 0:
+          num0 = 5.0;  // constant / long runs
+          num1 = static_cast<double>(rng.UniformInt(0, 3));
+          break;
+        case 1:
+          num0 = static_cast<double>(rng.UniformInt(-100, 100));
+          num1 = static_cast<double>(rng.UniformInt(0, 1000000));
+          break;
+        case 2:
+          num0 = rng.Gaussian(0.0, 1.0);  // fractional: raw path
+          num1 = rng.Gaussian(1e6, 1e3);
+          break;
+        default:
+          num0 = static_cast<double>(rng.UniformInt(0, 1));
+          num1 = rng.Bernoulli(0.5) ? 0.25 : 1e300;
+          break;
+      }
+      table.AppendRowUnchecked(
+          {Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 4))),
+           Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 1))),
+           Value::Numeric(num0), Value::Numeric(num1)});
+    }
+    const std::vector<uint8_t> bytes = EncodeChunkColumns(table);
+    Result<Table> decoded = DecodeChunkColumns(schema, bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectBitIdentical(table, decoded.value());
+  }
+}
+
+TEST(ChunkCodecTest, RoundTripPreservesSpecialBitPatterns) {
+  std::vector<Attribute> attrs = {
+      Attribute::MakeNumeric("n", -1e308, 1e308, 1000),
+  };
+  Table table((Schema(attrs)));
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  for (double v :
+       {0.0, -0.0, 1.0, -1.0, qnan, std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(), 4503599627370496.0,
+        -4503599627370497.0}) {
+    table.AppendRowUnchecked({Value::Numeric(v)});
+  }
+  const std::vector<uint8_t> bytes = EncodeChunkColumns(table);
+  Result<Table> decoded = DecodeChunkColumns(table.schema(), bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBitIdentical(table, decoded.value());
+  // -0.0 specifically must come back with its sign bit.
+  EXPECT_TRUE(std::signbit(decoded.value().at(1, 0).numeric()));
+}
+
+TEST(ChunkCodecTest, DictionaryHeavySweepCompressesAtLeastFourX) {
+  // The acceptance sweep: small categorical domains plus integral
+  // numerics, the shape synthetic instances actually have.
+  Rng rng(7);
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("dept", {"eng", "sales", "hr", "ops"}),
+      Attribute::MakeCategorical("level", {"junior", "senior", "staff"}),
+      Attribute::MakeCategorical("flag", {"n", "y"}),
+      Attribute::MakeNumeric("salary", 40000, 200000, 1000),
+      Attribute::MakeNumeric("bonus", 0, 40000, 100),
+  };
+  Table table((Schema(attrs)));
+  for (size_t i = 0; i < 2000; ++i) {
+    table.AppendRowUnchecked(
+        {Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 3))),
+         Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 2))),
+         Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 1))),
+         Value::Numeric(static_cast<double>(rng.UniformInt(40, 200)) * 1000.0),
+         Value::Numeric(static_cast<double>(rng.UniformInt(0, 400)) * 100.0)});
+  }
+  const std::vector<uint8_t> bytes = EncodeChunkColumns(table);
+  Result<Table> decoded = DecodeChunkColumns(table.schema(), bytes);
+  ASSERT_TRUE(decoded.ok());
+  ExpectBitIdentical(table, decoded.value());
+  const size_t raw = RawChunkBytes(table);
+  EXPECT_GE(raw, 4 * bytes.size())
+      << "encoded " << bytes.size() << " bytes vs raw " << raw;
+}
+
+TEST(ChunkCodecTest, EmptyTableRoundTrips) {
+  const Schema schema = MixedSchema();
+  Table table(schema);
+  const std::vector<uint8_t> bytes = EncodeChunkColumns(table);
+  Result<Table> decoded = DecodeChunkColumns(schema, bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().num_rows(), 0u);
+  EXPECT_EQ(decoded.value().num_columns(), schema.size());
+}
+
+TEST(ChunkCodecTest, RejectsTruncatedAndMismatchedPayloads) {
+  const Schema schema = MixedSchema();
+  Rng rng(13);
+  Table table(schema);
+  for (size_t i = 0; i < 50; ++i) {
+    table.AppendRowUnchecked(
+        {Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 4))),
+         Value::Categorical(static_cast<int32_t>(rng.UniformInt(0, 1))),
+         Value::Numeric(rng.Gaussian()), Value::Numeric(rng.Gaussian())});
+  }
+  const std::vector<uint8_t> bytes = EncodeChunkColumns(table);
+
+  // Every strict prefix must fail cleanly, never crash or mis-decode.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{11}, size_t{13},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DecodeChunkColumns(schema, truncated).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+
+  // Wrong arity.
+  std::vector<Attribute> narrow = {
+      Attribute::MakeCategorical("c0", {"a", "b", "c", "d", "e"}),
+  };
+  EXPECT_FALSE(DecodeChunkColumns(Schema(narrow), bytes).ok());
+
+  // Kind flip: numeric payload decoded against a categorical column (and
+  // vice versa) must be rejected by the block tags.
+  std::vector<Attribute> flipped = {
+      Attribute::MakeNumeric("c0", 0, 10, 10),
+      Attribute::MakeCategorical("c1", {"x", "y"}),
+      Attribute::MakeNumeric("n0", -1e9, 1e9, 1000),
+      Attribute::MakeNumeric("n1", -1e9, 1e9, 1000),
+  };
+  EXPECT_FALSE(DecodeChunkColumns(Schema(flipped), bytes).ok());
+
+  // Trailing garbage after a well-formed payload.
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeChunkColumns(schema, padded).ok());
+}
+
+}  // namespace
+}  // namespace kamino

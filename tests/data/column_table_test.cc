@@ -1,0 +1,166 @@
+#include "kamino/data/column.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kamino/common/rng.h"
+#include "kamino/data/table.h"
+
+namespace kamino {
+namespace {
+
+Schema RandomSchema(Rng* rng) {
+  const size_t num_cols = static_cast<size_t>(rng->UniformInt(1, 6));
+  std::vector<Attribute> attrs;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const std::string name = "a" + std::to_string(c);
+    if (rng->Bernoulli(0.5)) {
+      const int64_t k = rng->UniformInt(2, 9);
+      std::vector<std::string> cats;
+      for (int64_t i = 0; i < k; ++i) cats.push_back("v" + std::to_string(i));
+      attrs.push_back(Attribute::MakeCategorical(name, std::move(cats)));
+    } else {
+      attrs.push_back(Attribute::MakeNumeric(name, -1000.0, 1000.0, 100));
+    }
+  }
+  return Schema(attrs);
+}
+
+Value RandomCell(const Attribute& attr, Rng* rng) {
+  if (attr.is_categorical()) {
+    return Value::Categorical(static_cast<int32_t>(
+        rng->UniformInt(0, attr.DomainSize() - 1)));
+  }
+  return Value::Numeric(rng->Gaussian(0.0, 100.0));
+}
+
+Row RandomRow(const Schema& schema, Rng* rng) {
+  Row row;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    row.push_back(RandomCell(schema.attribute(c), rng));
+  }
+  return row;
+}
+
+void ExpectMatchesShadow(const Table& table, const std::vector<Row>& shadow) {
+  ASSERT_EQ(table.num_rows(), shadow.size());
+  Row scratch;
+  for (size_t r = 0; r < shadow.size(); ++r) {
+    const Row& materialized = table.row(r);
+    table.CopyRowInto(r, &scratch);
+    ASSERT_EQ(materialized.size(), shadow[r].size());
+    for (size_t c = 0; c < shadow[r].size(); ++c) {
+      // Kind and payload must both survive the columnar round trip.
+      EXPECT_EQ(table.at(r, c).kind(), shadow[r][c].kind());
+      EXPECT_TRUE(table.at(r, c) == shadow[r][c])
+          << "cell (" << r << ", " << c << ")";
+      EXPECT_TRUE(materialized[c] == shadow[r][c]);
+      EXPECT_TRUE(scratch[c] == shadow[r][c]);
+    }
+  }
+}
+
+// Property suite: a Table over the columnar core behaves exactly like the
+// row-major shadow model under randomized schemas and mutation sequences.
+TEST(ColumnTableTest, MatchesRowMajorShadowUnderRandomMutations) {
+  Rng rng(20240807);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Schema schema = RandomSchema(&rng);
+    Table table(schema);
+    std::vector<Row> shadow;
+    const int ops = 120;
+    for (int op = 0; op < ops; ++op) {
+      const int64_t action = rng.UniformInt(0, 3);
+      if (action <= 1 || shadow.empty()) {
+        Row row = RandomRow(schema, &rng);
+        table.AppendRowUnchecked(row);
+        shadow.push_back(std::move(row));
+      } else if (action == 2) {
+        const size_t r =
+            static_cast<size_t>(rng.UniformInt(0, shadow.size() - 1));
+        const size_t c =
+            static_cast<size_t>(rng.UniformInt(0, schema.size() - 1));
+        const Value v = RandomCell(schema.attribute(c), &rng);
+        table.set(r, c, v);
+        shadow[r][c] = v;
+      } else {
+        // Exercise the block-copy append against per-row semantics.
+        const size_t lo =
+            static_cast<size_t>(rng.UniformInt(0, shadow.size() - 1));
+        const size_t count = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(shadow.size() - lo)));
+        table.AppendRowsFrom(table, lo, count);
+        for (size_t r = lo; r < lo + count; ++r) {
+          shadow.push_back(shadow[r]);
+        }
+      }
+    }
+    ExpectMatchesShadow(table, shadow);
+
+    // Slice agrees with the shadow's sub-range.
+    const size_t lo =
+        static_cast<size_t>(rng.UniformInt(0, shadow.size() - 1));
+    const size_t count = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(shadow.size() - lo)));
+    const Table slice = table.Slice(lo, count);
+    std::vector<Row> shadow_slice(shadow.begin() + lo,
+                                  shadow.begin() + lo + count);
+    ExpectMatchesShadow(slice, shadow_slice);
+  }
+}
+
+TEST(ColumnTableTest, TypedSpansExposeColumnData) {
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("cat", {"a", "b", "c"}),
+      Attribute::MakeNumeric("num", 0.0, 10.0, 10),
+  };
+  Table table((Schema(attrs)));
+  table.AppendRowUnchecked({Value::Categorical(2), Value::Numeric(1.5)});
+  table.AppendRowUnchecked({Value::Categorical(0), Value::Numeric(-2.25)});
+  ASSERT_EQ(table.code_data(0).size(), 2u);
+  EXPECT_EQ(table.code_data(0)[0], 2);
+  EXPECT_EQ(table.code_data(0)[1], 0);
+  ASSERT_EQ(table.numeric_data(1).size(), 2u);
+  EXPECT_EQ(table.numeric_data(1)[0], 1.5);
+  EXPECT_EQ(table.numeric_data(1)[1], -2.25);
+  EXPECT_TRUE(table.columns().column(0).is_categorical());
+  EXPECT_TRUE(table.columns().column(1).is_numeric());
+}
+
+TEST(ColumnTableTest, ResizeRowsFillsColumnTypedZeros) {
+  std::vector<Attribute> attrs = {
+      Attribute::MakeCategorical("cat", {"a", "b"}),
+      Attribute::MakeNumeric("num", 0.0, 10.0, 10),
+  };
+  Table table((Schema(attrs)));
+  table.ResizeRows(3);
+  ASSERT_EQ(table.num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    // Blank cells carry the *column's* kind (dictionary code 0 / 0.0),
+    // not a default-constructed Value — the documented columnar contract.
+    EXPECT_TRUE(table.at(r, 0).is_categorical());
+    EXPECT_EQ(table.at(r, 0).category(), 0);
+    EXPECT_TRUE(table.at(r, 1).is_numeric());
+    EXPECT_EQ(table.at(r, 1).numeric(), 0.0);
+  }
+  // ResizeRows has assign semantics: prior content is discarded.
+  table.set(0, 0, Value::Categorical(1));
+  table.ResizeRows(2);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.at(0, 0).category(), 0);
+}
+
+TEST(ColumnTableTest, ZeroColumnSchemaTracksCardinality) {
+  Table table((Schema(std::vector<Attribute>{})));
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.ResizeRows(5);
+  EXPECT_EQ(table.num_rows(), 5u);
+  table.AppendRowUnchecked({});
+  EXPECT_EQ(table.num_rows(), 6u);
+  EXPECT_EQ(table.Slice(2, 3).num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace kamino

@@ -1,0 +1,62 @@
+#include "kamino/data/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace kamino {
+namespace {
+
+// Regression: the old hash only XORed (kind << 1) into the payload hash,
+// so Categorical(i) and Numeric(double(i)) — which share an OrderKey —
+// differed in exactly one bit and collapsed into the same power-of-two
+// hash bucket half the time. The kinds must land in unrelated buckets.
+TEST(ValueHashTest, KindIsMixedThroughAllBits) {
+  ValueHash hash;
+  int identical = 0;
+  uint64_t or_of_diffs = 0;
+  for (int32_t i = 0; i < 4096; ++i) {
+    const uint64_t hc = hash(Value::Categorical(i));
+    const uint64_t hn = hash(Value::Numeric(static_cast<double>(i)));
+    if (hc == hn) ++identical;
+    or_of_diffs |= hc ^ hn;
+  }
+  EXPECT_EQ(identical, 0);
+  // Across the sweep, the kind flip must reach high and low bits alike —
+  // a shifted-XOR scheme leaves all but one bit position untouched.
+  EXPECT_EQ(or_of_diffs, ~uint64_t{0});
+}
+
+TEST(ValueHashTest, MixedKindKeysSpreadAcrossBuckets) {
+  // The failure mode in the field: an FD LHS whose values mix kinds (e.g.
+  // a category index next to its numeric re-encoding). With the low-bit
+  // XOR, every (Categorical(i), Numeric(i)) pair shared bucket i mod B for
+  // every even bucket count B; the pairs must now spread independently.
+  constexpr uint64_t kBuckets = 1024;  // power of two: masks low bits
+  ValueHash hash;
+  int same_bucket = 0;
+  for (int32_t i = 0; i < 4096; ++i) {
+    const uint64_t bc = hash(Value::Categorical(i)) % kBuckets;
+    const uint64_t bn = hash(Value::Numeric(static_cast<double>(i))) % kBuckets;
+    if (bc == bn) ++same_bucket;
+  }
+  // Independent placement collides ~ 4096/1024 = 4 times in expectation;
+  // allow generous slack while still catching the old always-adjacent
+  // behavior (which put 100% of pairs in the same bucket once the XOR bit
+  // was masked off, and 0% otherwise — both far outside this band).
+  EXPECT_LT(same_bucket, 64);
+}
+
+TEST(ValueHashTest, EqualValuesHashEqual) {
+  ValueHash hash;
+  EXPECT_EQ(hash(Value::Categorical(7)), hash(Value::Categorical(7)));
+  EXPECT_EQ(hash(Value::Numeric(7.25)), hash(Value::Numeric(7.25)));
+  // Distinct payloads of one kind should (overwhelmingly) differ too.
+  std::unordered_set<uint64_t> seen;
+  for (int32_t i = 0; i < 1024; ++i) seen.insert(hash(Value::Categorical(i)));
+  EXPECT_GT(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace kamino

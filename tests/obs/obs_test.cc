@@ -446,7 +446,7 @@ TEST(ObsEngineTest, FitAndAsyncSynthesizeProduceExpectedSpanTree) {
   class CountingSink : public RowSink {
    public:
     Status OnChunk(const TableChunk& chunk) override {
-      rows += chunk.rows.num_rows();
+      rows += chunk.num_rows();
       ++chunks;
       return Status::OK();
     }

@@ -521,6 +521,39 @@ int Main() {
     records.push_back({"stream_job_total_shards4", rows, 1, job_seconds});
     std::printf("%-28s %8s %12.4f  (job total %.4f)\n",
                 "stream_first_chunk", "s=4", sink.first_chunk, job_seconds);
+
+    // Model artifact serde: the cost of checkpointing a fit to its wire
+    // form and rehydrating it (what a load-by-id worker pays per cold
+    // model), plus the artifact size (bytes in the value slot, like
+    // chunk_encode_bytes).
+    auto artifact_bytes = model.value().Serialize();
+    KAMINO_CHECK(artifact_bytes.ok()) << artifact_bytes.status();
+    const double save_seconds = TimeBest(3, [&] {
+      auto bytes = model.value().Serialize();
+      KAMINO_CHECK(bytes.ok()) << bytes.status();
+    });
+    const double load_seconds = TimeBest(3, [&] {
+      auto loaded = FittedModel::Deserialize(artifact_bytes.value());
+      KAMINO_CHECK(loaded.ok()) << loaded.status();
+    });
+    auto reloaded = FittedModel::Deserialize(artifact_bytes.value());
+    KAMINO_CHECK(reloaded.ok()) << reloaded.status();
+    SynthesisRequest artifact_check;
+    artifact_check.seed = 100;
+    auto from_fit = engine.Synthesize(model.value(), artifact_check);
+    auto from_artifact = engine.Synthesize(reloaded.value(), artifact_check);
+    KAMINO_CHECK(from_fit.ok() && from_artifact.ok());
+    if (!SameTable(from_fit.value().synthetic,
+                   from_artifact.value().synthetic)) {
+      service_deterministic = false;
+    }
+    records.push_back({"artifact_save", rows, 1, save_seconds});
+    records.push_back({"artifact_load", rows, 1, load_seconds});
+    records.push_back({"artifact_bytes", rows, 1,
+                       static_cast<double>(artifact_bytes.value().size())});
+    std::printf("%-28s %8s %12.4f\n", "artifact_save", "-", save_seconds);
+    std::printf("%-28s %8s %12.4f  (%zu bytes)\n", "artifact_load", "-",
+                load_seconds, artifact_bytes.value().size());
   }
   runtime::SetGlobalNumThreads(0);
 

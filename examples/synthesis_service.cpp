@@ -246,6 +246,49 @@ int main(int argc, char** argv) {
       round_trip ? "OK" : "MISMATCH");
   if (!round_trip) return 1;
 
+  // --- Model artifacts: save the fit, load it in a fresh engine, and
+  // check the reloaded model synthesizes the exact same instance. ---
+  const std::string artifact_path = "employees_model.kam";
+  auto artifact_bytes = model.value().Serialize();
+  if (!artifact_bytes.ok()) {
+    std::fprintf(stderr, "serialize failed: %s\n",
+                 artifact_bytes.status().ToString().c_str());
+    return 1;
+  }
+  if (auto saved = model.value().Save(artifact_path); !saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  kamino::KaminoEngine fresh;  // no fit: the artifact carries everything
+  if (auto loaded = fresh.LoadModel("employees", artifact_path);
+      !loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  kamino::SynthesisRequest check;
+  check.seed = 33;
+  auto original_out = engine.Synthesize(model.value(), check);
+  auto reloaded_out = fresh.Synthesize("employees", check);
+  if (!original_out.ok() || !reloaded_out.ok()) {
+    std::fprintf(stderr, "artifact check synthesis failed\n");
+    return 1;
+  }
+  const kamino::Table& from_fit = original_out.value().synthetic;
+  const kamino::Table& from_disk = reloaded_out.value().synthetic;
+  bool artifact_match = from_fit.num_rows() == from_disk.num_rows();
+  for (size_t r = 0; artifact_match && r < from_fit.num_rows(); ++r) {
+    for (size_t c = 0; c < from_fit.num_columns(); ++c) {
+      if (!(from_fit.at(r, c) == from_disk.at(r, c))) {
+        artifact_match = false;
+        break;
+      }
+    }
+  }
+  std::printf("  artifact: %zu bytes, reloaded synthesis match=%s\n",
+              artifact_bytes.value().size(), artifact_match ? "OK" : "MISMATCH");
+  if (!artifact_match) return 1;
+
   // --- Observability dump (only when a trace path was given). ---
   if (trace_path != nullptr) {
     const std::string trace = engine.DumpTrace();

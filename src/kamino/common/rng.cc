@@ -1,6 +1,25 @@
 #include "kamino/common/rng.h"
 
+#include <sstream>
+
 namespace kamino {
+
+RngState SnapshotEngine(const std::mt19937_64& engine) {
+  std::ostringstream os;
+  os << engine;
+  return RngState{os.str()};
+}
+
+Status RestoreEngine(const RngState& state, std::mt19937_64* engine) {
+  std::istringstream is(state.text);
+  std::mt19937_64 parsed;
+  is >> parsed;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed mt19937_64 state snapshot");
+  }
+  *engine = parsed;
+  return Status::OK();
+}
 
 size_t Rng::Discrete(const std::vector<double>& weights) {
   double total = 0.0;

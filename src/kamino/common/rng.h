@@ -3,9 +3,29 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "kamino/common/status.h"
+
 namespace kamino {
+
+/// Portable snapshot of a `std::mt19937_64` engine, used by the model
+/// artifact to persist the sampling stream across processes. The standard
+/// guarantees the iostream text representation round-trips the exact
+/// engine state (all 312 words plus the stream position), so a restored
+/// engine continues bit-identically.
+struct RngState {
+  std::string text;
+};
+
+/// Captures the full state of `engine`.
+RngState SnapshotEngine(const std::mt19937_64& engine);
+
+/// Restores `engine` from a snapshot. Returns InvalidArgument (leaving
+/// `engine` untouched) when the snapshot text is not a well-formed
+/// mt19937_64 state.
+Status RestoreEngine(const RngState& state, std::mt19937_64* engine);
 
 /// Deterministic random number generator used throughout the library.
 ///

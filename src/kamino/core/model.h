@@ -82,6 +82,17 @@ class ProbabilisticDataModel {
   /// Number of DP-SGD-trained sub-models (for accounting).
   size_t num_discriminative_units() const;
 
+  /// Artifact serde. `SerializeTo` writes the full trained state (schema,
+  /// sequence, encoder-store tensors, per-unit histogram tables / net head
+  /// weights); it requires a trained model. `DeserializeFrom` validates
+  /// everything before constructing — the sequence must be a permutation
+  /// tiled exactly by the units, kind/arity flips and shape mismatches are
+  /// rejected with InvalidArgument, and derived state (radix, quantizer,
+  /// standardization stats) is recomputed from the schema rather than
+  /// trusted from the wire.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  static Result<ProbabilisticDataModel> DeserializeFrom(io::ByteReader* in);
+
  private:
   /// The model owns a heap copy of the training schema (stable address
   /// under moves), so a fitted model never dangles into the input table —

@@ -150,6 +150,13 @@ struct KaminoOptions {
   /// rows are unchanged — only their wire form is. Off by default.
   bool compress_chunks = false;
 
+  // --- Model registry (src/kamino/service/engine.h) ---
+  /// Capacity of the engine's LRU registry of hot fitted models
+  /// (`KaminoEngine::RegisterModel/GetModel/LoadModel`): registering past
+  /// it evicts the least recently used model (counted in the obs metrics
+  /// as `kamino.registry.evictions`). Must be >= 1.
+  size_t model_registry_capacity = 8;
+
   /// Root seed for all randomness in the run.
   uint64_t seed = 1;
 

@@ -407,10 +407,15 @@ Status SampleShardRows(const ProbabilisticDataModel& model,
         auto it = std::lower_bound(
             tracker.points.begin(), tracker.points.end(),
             std::make_pair(x, -std::numeric_limits<double>::infinity()));
-        for (int step = -2; step <= 2; ++step) {
-          auto jt = it + step;
-          if (jt >= tracker.points.begin() && jt < tracker.points.end()) {
-            values.push_back(jt->second);
+        // Index arithmetic: `it + step` would be UB for out-of-range
+        // steps (and on the null iterator of an empty vector).
+        const ptrdiff_t base = it - tracker.points.begin();
+        const ptrdiff_t size =
+            static_cast<ptrdiff_t>(tracker.points.size());
+        for (ptrdiff_t step = -2; step <= 2; ++step) {
+          const ptrdiff_t j = base + step;
+          if (j >= 0 && j < size) {
+            values.push_back(tracker.points[static_cast<size_t>(j)].second);
           }
         }
       }

@@ -6,6 +6,7 @@
 #include "kamino/core/sequencing.h"
 #include "kamino/dc/violations.h"
 #include "kamino/dp/gaussian.h"
+#include "kamino/io/bytes.h"
 
 namespace kamino {
 namespace {
@@ -15,6 +16,24 @@ constexpr double kWeightLearningRate = 0.5;
 constexpr double kMaxWeight = 10.0;
 
 }  // namespace
+
+void DcWeightsState::SerializeTo(std::vector<uint8_t>* out) const {
+  io::AppendDoubleVec(out, weights);
+}
+
+Result<DcWeightsState> DcWeightsState::DeserializeFrom(io::ByteReader* in,
+                                                       size_t expected_count) {
+  DcWeightsState state;
+  if (!io::ReadDoubleVec(in, &state.weights)) {
+    return Status::InvalidArgument("DC weights payload truncated");
+  }
+  if (state.weights.size() != expected_count) {
+    return Status::InvalidArgument(
+        "DC weight count " + std::to_string(state.weights.size()) +
+        " != constraint count " + std::to_string(expected_count));
+  }
+  return state;
+}
 
 Result<std::vector<double>> LearnDcWeights(
     const Table& data, const std::vector<WeightedConstraint>& constraints,

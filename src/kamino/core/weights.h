@@ -10,6 +10,23 @@
 
 namespace kamino {
 
+namespace io {
+class ByteReader;
+}  // namespace io
+
+/// Learned DC weights as an explicit serializable state (artifact serde).
+/// Weights travel as raw IEEE-754 bit patterns, so the sampler's
+/// exp(-W . V) scoring is bit-identical after a round trip.
+struct DcWeightsState {
+  std::vector<double> weights;
+
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  /// Fails with InvalidArgument on truncation or when the weight count
+  /// does not match `expected_count` (the artifact's constraint count).
+  static Result<DcWeightsState> DeserializeFrom(io::ByteReader* in,
+                                                size_t expected_count);
+};
+
 /// Algorithm 5: private learning of DC weights.
 ///
 /// Releases a noisy violation matrix over a small Bernoulli sample of at

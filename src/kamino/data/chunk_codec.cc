@@ -1,11 +1,27 @@
 #include "kamino/data/chunk_codec.h"
 
 #include <cmath>
-#include <cstring>
 #include <string>
+
+#include "kamino/io/bytes.h"
 
 namespace kamino {
 namespace {
+
+// The byte-level encoding primitives (append helpers, the bounded
+// ByteReader, bit packing) live in io/bytes.h, shared with the
+// model-artifact codec. This file keeps only the per-column scheme
+// selection and the block tags.
+using io::AppendU32;
+using io::AppendU64;
+using io::AppendU8;
+using io::BitsDouble;
+using io::BitWidthFor;
+using io::ByteReader;
+using io::DoubleBits;
+using io::PackBits;
+using io::PackedBytes;
+using io::UnpackBits;
 
 // Per-column block tags. Categorical and numeric tags are disjoint so a
 // payload decoded against the wrong schema kind fails loudly.
@@ -18,120 +34,6 @@ enum BlockTag : uint8_t {
   kRleBits = 5,     // [u32 runs]([u32 len][u64 bits])*
   kRawBits = 6,     // [u64 bits]*
 };
-
-void AppendU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
-
-void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
-}
-
-void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
-}
-
-uint64_t DoubleBits(double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-double BitsDouble(uint64_t bits) {
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-/// Bounded little-endian reader; every read checks the remaining length so
-/// truncated payloads surface as a status, not a crash.
-class ByteReader {
- public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  bool ReadU8(uint8_t* v) {
-    if (pos_ + 1 > size_) return false;
-    *v = data_[pos_++];
-    return true;
-  }
-
-  bool ReadU32(uint32_t* v) {
-    if (pos_ + 4 > size_) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) *v |= uint32_t{data_[pos_++]} << (8 * i);
-    return true;
-  }
-
-  bool ReadU64(uint64_t* v) {
-    if (pos_ + 8 > size_) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) *v |= uint64_t{data_[pos_++]} << (8 * i);
-    return true;
-  }
-
-  bool ReadBytes(const uint8_t** p, size_t count) {
-    if (pos_ + count > size_) return false;
-    *p = data_ + pos_;
-    pos_ += count;
-    return true;
-  }
-
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
-/// Bits needed to represent `range` (>= 1 even for range 0, so packed
-/// blocks never claim zero-width cells).
-uint8_t BitWidthFor(uint64_t range) {
-  uint8_t w = 1;
-  while (w < 64 && (range >> w) != 0) ++w;
-  return w;
-}
-
-/// LSB-first bit packing of `width`-bit values. `width` <= 56 so the
-/// accumulator never overflows (56 value bits + 7 carried bits < 64).
-void PackBits(const std::vector<uint64_t>& vals, uint8_t width,
-              std::vector<uint8_t>* out) {
-  uint64_t acc = 0;
-  int nbits = 0;
-  for (uint64_t v : vals) {
-    acc |= v << nbits;
-    nbits += width;
-    while (nbits >= 8) {
-      out->push_back(acc & 0xff);
-      acc >>= 8;
-      nbits -= 8;
-    }
-  }
-  if (nbits > 0) out->push_back(acc & 0xff);
-}
-
-bool UnpackBits(ByteReader* in, size_t n, uint8_t width,
-                std::vector<uint64_t>* vals) {
-  const size_t nbytes = (n * width + 7) / 8;
-  const uint8_t* bytes = nullptr;
-  if (width == 0 || width > 56 || !in->ReadBytes(&bytes, nbytes)) return false;
-  const uint64_t mask =
-      width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
-  vals->resize(n);
-  uint64_t acc = 0;
-  int nbits = 0;
-  size_t pos = 0;
-  for (size_t i = 0; i < n; ++i) {
-    while (nbits < width) {
-      acc |= uint64_t{bytes[pos++]} << nbits;
-      nbits += 8;
-    }
-    (*vals)[i] = acc & mask;
-    acc >>= width;
-    nbits -= width;
-  }
-  return true;
-}
-
-size_t PackedBytes(size_t n, uint8_t width) { return (n * width + 7) / 8; }
 
 template <typename T>
 size_t CountRuns(const std::vector<T>& vals) {

@@ -1,7 +1,10 @@
 #include "kamino/data/schema.h"
 
 #include <cmath>
+#include <set>
 #include <utility>
+
+#include "kamino/io/bytes.h"
 
 namespace kamino {
 
@@ -59,6 +62,47 @@ bool Attribute::Contains(const Value& v) const {
          v.numeric() <= max_value_;
 }
 
+AttributeState Attribute::ToState() const {
+  AttributeState state;
+  state.name = name_;
+  state.type = is_categorical() ? 0 : 1;
+  state.categories = categories_;
+  state.min_value = min_value_;
+  state.max_value = max_value_;
+  state.nominal_cardinality = nominal_cardinality_;
+  return state;
+}
+
+Result<Attribute> Attribute::FromState(const AttributeState& state) {
+  if (state.type > 1) {
+    return Status::InvalidArgument("attribute '" + state.name +
+                                   "': unknown type byte " +
+                                   std::to_string(state.type));
+  }
+  if (state.type == 0) {
+    std::set<std::string> seen;
+    for (const std::string& label : state.categories) {
+      if (!seen.insert(label).second) {
+        return Status::InvalidArgument("attribute '" + state.name +
+                                       "': duplicate category '" + label +
+                                       "'");
+      }
+    }
+    return MakeCategorical(state.name, state.categories);
+  }
+  if (std::isnan(state.min_value) || std::isnan(state.max_value) ||
+      state.min_value > state.max_value) {
+    return Status::InvalidArgument("attribute '" + state.name +
+                                   "': invalid numeric domain");
+  }
+  if (state.nominal_cardinality < 0) {
+    return Status::InvalidArgument("attribute '" + state.name +
+                                   "': negative nominal cardinality");
+  }
+  return MakeNumeric(state.name, state.min_value, state.max_value,
+                     state.nominal_cardinality);
+}
+
 Schema::Schema(std::vector<Attribute> attributes)
     : attributes_(std::move(attributes)) {
   for (size_t i = 0; i < attributes_.size(); ++i) {
@@ -81,6 +125,83 @@ double Schema::Log2DomainSize() const {
     if (d > 1) bits += std::log2(static_cast<double>(d));
   }
   return bits;
+}
+
+SchemaState Schema::ToState() const {
+  SchemaState state;
+  state.attributes.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) state.attributes.push_back(a.ToState());
+  return state;
+}
+
+Result<Schema> Schema::FromState(const SchemaState& state) {
+  std::vector<Attribute> attributes;
+  attributes.reserve(state.attributes.size());
+  std::set<std::string> names;
+  for (const AttributeState& as : state.attributes) {
+    if (!names.insert(as.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + as.name +
+                                     "' in schema state");
+    }
+    KAMINO_ASSIGN_OR_RETURN(Attribute a, Attribute::FromState(as));
+    attributes.push_back(std::move(a));
+  }
+  return Schema(std::move(attributes));
+}
+
+void Schema::SerializeTo(std::vector<uint8_t>* out) const {
+  io::AppendU32(out, static_cast<uint32_t>(attributes_.size()));
+  for (const Attribute& a : attributes_) {
+    const AttributeState state = a.ToState();
+    io::AppendString(out, state.name);
+    io::AppendU8(out, state.type);
+    if (state.type == 0) {
+      io::AppendU32(out, static_cast<uint32_t>(state.categories.size()));
+      for (const std::string& label : state.categories) {
+        io::AppendString(out, label);
+      }
+    } else {
+      io::AppendDouble(out, state.min_value);
+      io::AppendDouble(out, state.max_value);
+      io::AppendU64(out, static_cast<uint64_t>(state.nominal_cardinality));
+    }
+  }
+}
+
+Result<Schema> Schema::DeserializeFrom(io::ByteReader* in) {
+  Status truncated = Status::InvalidArgument("schema payload truncated");
+  uint32_t count = 0;
+  if (!in->ReadU32(&count)) return truncated;
+  SchemaState state;
+  // Every attribute costs at least its type byte + name length prefix.
+  if (count > in->remaining()) return truncated;
+  state.attributes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AttributeState as;
+    if (!in->ReadString(&as.name) || !in->ReadU8(&as.type)) return truncated;
+    if (as.type == 0) {
+      uint32_t num_categories = 0;
+      if (!in->ReadU32(&num_categories)) return truncated;
+      if (num_categories > in->remaining()) return truncated;
+      as.categories.resize(num_categories);
+      for (std::string& label : as.categories) {
+        if (!in->ReadString(&label)) return truncated;
+      }
+    } else if (as.type == 1) {
+      uint64_t nominal = 0;
+      if (!in->ReadDouble(&as.min_value) || !in->ReadDouble(&as.max_value) ||
+          !in->ReadU64(&nominal)) {
+        return truncated;
+      }
+      as.nominal_cardinality = static_cast<int64_t>(nominal);
+    } else {
+      return Status::InvalidArgument("attribute '" + as.name +
+                                     "': unknown type byte " +
+                                     std::to_string(as.type));
+    }
+    state.attributes.push_back(std::move(as));
+  }
+  return FromState(state);
 }
 
 }  // namespace kamino

@@ -11,8 +11,29 @@
 
 namespace kamino {
 
+namespace io {
+class ByteReader;
+}  // namespace io
+
 /// The kind of an attribute's domain.
 enum class AttributeType { kCategorical, kNumeric };
+
+/// Plain serializable mirror of an `Attribute`, used by the model artifact
+/// codec. `type` is 0 for categorical, 1 for numeric; `FromState` validates
+/// it together with the kind-specific fields.
+struct AttributeState {
+  std::string name;
+  uint8_t type = 0;
+  std::vector<std::string> categories;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  int64_t nominal_cardinality = 0;
+};
+
+/// Plain serializable mirror of a `Schema`.
+struct SchemaState {
+  std::vector<AttributeState> attributes;
+};
 
 /// One column of a relation schema, including its (public) domain.
 ///
@@ -52,6 +73,13 @@ class Attribute {
   /// True if `v` is of the right kind and inside the domain.
   bool Contains(const Value& v) const;
 
+  /// Artifact serde: a plain state mirror, and reconstruction from one.
+  /// `FromState` validates the state (known type byte, no duplicate
+  /// category labels, ordered finite numeric bounds) before building the
+  /// attribute, so corrupt artifacts surface as a Status.
+  AttributeState ToState() const;
+  static Result<Attribute> FromState(const AttributeState& state);
+
  private:
   std::string name_;
   AttributeType type_ = AttributeType::kCategorical;
@@ -78,6 +106,17 @@ class Schema {
   /// log2 of the product of all attribute domain sizes (the "Domain size"
   /// column of Table 1, reported as ~2^x).
   double Log2DomainSize() const;
+
+  /// Artifact serde. `FromState` rejects duplicate attribute names (the
+  /// name index must round-trip losslessly) and any invalid attribute.
+  SchemaState ToState() const;
+  static Result<Schema> FromState(const SchemaState& state);
+
+  /// Wire form used inside model artifacts: the state struct encoded with
+  /// the io/bytes.h primitives. `DeserializeFrom` performs the same
+  /// validation as `FromState`.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  static Result<Schema> DeserializeFrom(io::ByteReader* in);
 
  private:
   std::vector<Attribute> attributes_;

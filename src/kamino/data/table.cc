@@ -21,15 +21,6 @@ Status Table::AppendRow(Row row) {
   return Status::OK();
 }
 
-// Deprecated accessor kept for migration; the implementation itself may
-// touch the typed columns without tripping the deprecation warning.
-std::vector<Value> Table::Column(size_t col) const {
-  std::vector<Value> out;
-  out.reserve(num_rows());
-  for (size_t r = 0; r < num_rows(); ++r) out.push_back(columns_.at(r, col));
-  return out;
-}
-
 Table Table::Slice(size_t offset, size_t count) const {
   Table out(schema_);
   out.columns_.Reserve(count);

@@ -91,13 +91,6 @@ class Table {
     return columns_.column(col).codes();
   }
 
-  /// Returns one column as a vector of tagged values.
-  /// Deprecated: this copies and boxes every cell — read the typed spans
-  /// (`numeric_data` / `code_data`) or `columns()` instead.
-  [[deprecated(
-      "copies the column as boxed Values; use numeric_data()/code_data()")]]
-  std::vector<Value> Column(size_t col) const;
-
   /// Appends `count` rows of `src` starting at row `offset` — one block
   /// copy per column. Schemas must have identical column types.
   void AppendRowsFrom(const Table& src, size_t offset, size_t count) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "kamino/common/strings.h"
+#include "kamino/io/bytes.h"
 
 namespace kamino {
 
@@ -227,6 +228,171 @@ Result<DenialConstraint> DenialConstraint::Parse(const std::string& spec,
   dc.is_unary_ = !mentions_t2;
   dc.attributes_.assign(attrs.begin(), attrs.end());
   return dc;
+}
+
+DenialConstraintState DenialConstraint::ToState() const {
+  DenialConstraintState state;
+  state.predicates.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    PredicateState ps;
+    ps.lhs_tuple = static_cast<uint8_t>(p.lhs_tuple);
+    ps.lhs_attr = p.lhs_attr;
+    ps.op = static_cast<uint8_t>(p.op);
+    ps.rhs_is_constant = p.rhs_is_constant ? 1 : 0;
+    ps.rhs_tuple = static_cast<uint8_t>(p.rhs_tuple);
+    ps.rhs_attr = p.rhs_attr;
+    if (p.rhs_is_constant) {
+      if (p.rhs_constant.is_categorical()) {
+        ps.constant_is_categorical = 1;
+        ps.constant_category = p.rhs_constant.category();
+      } else {
+        ps.constant_numeric = p.rhs_constant.numeric();
+      }
+    }
+    state.predicates.push_back(ps);
+  }
+  return state;
+}
+
+Result<DenialConstraint> DenialConstraint::FromState(
+    const DenialConstraintState& state, const Schema& schema) {
+  if (state.predicates.empty()) {
+    return Status::InvalidArgument("DC state has no predicates");
+  }
+  // Mirrors the tail of Parse: predicates are validated one by one, and
+  // the derived fields (attribute set, unary flag) are recomputed rather
+  // than trusted from the wire.
+  DenialConstraint dc;
+  std::set<size_t> attrs;
+  bool mentions_t2 = false;
+  for (const PredicateState& ps : state.predicates) {
+    if (ps.lhs_tuple > 1 || ps.rhs_tuple > 1 || ps.rhs_is_constant > 1 ||
+        ps.constant_is_categorical > 1) {
+      return Status::InvalidArgument("DC state: flag byte out of range");
+    }
+    if (ps.op > static_cast<uint8_t>(CompareOp::kGe)) {
+      return Status::InvalidArgument("DC state: unknown comparison op byte " +
+                                     std::to_string(ps.op));
+    }
+    if (ps.lhs_attr >= schema.size()) {
+      return Status::InvalidArgument(
+          "DC state: attribute index " + std::to_string(ps.lhs_attr) +
+          " out of range for schema arity " + std::to_string(schema.size()));
+    }
+    Predicate pred;
+    pred.lhs_tuple = ps.lhs_tuple;
+    pred.lhs_attr = static_cast<size_t>(ps.lhs_attr);
+    pred.op = static_cast<CompareOp>(ps.op);
+    const Attribute& lhs_attr = schema.attribute(pred.lhs_attr);
+    if (ps.rhs_is_constant != 0) {
+      pred.rhs_is_constant = true;
+      if (ps.constant_is_categorical != 0) {
+        if (!lhs_attr.is_categorical()) {
+          return Status::InvalidArgument(
+              "DC state: label constant compared against numeric attribute " +
+              lhs_attr.name());
+        }
+        if (ps.constant_category < 0 ||
+            static_cast<size_t>(ps.constant_category) >=
+                lhs_attr.categories().size()) {
+          return Status::InvalidArgument(
+              "DC state: category constant out of domain of " +
+              lhs_attr.name());
+        }
+        pred.rhs_constant = Value::Categorical(ps.constant_category);
+      } else {
+        if (lhs_attr.is_categorical()) {
+          return Status::InvalidArgument(
+              "DC state: numeric constant compared against categorical "
+              "attribute " +
+              lhs_attr.name());
+        }
+        pred.rhs_constant = Value::Numeric(ps.constant_numeric);
+      }
+    } else {
+      if (ps.rhs_attr >= schema.size()) {
+        return Status::InvalidArgument(
+            "DC state: attribute index " + std::to_string(ps.rhs_attr) +
+            " out of range for schema arity " + std::to_string(schema.size()));
+      }
+      pred.rhs_tuple = ps.rhs_tuple;
+      pred.rhs_attr = static_cast<size_t>(ps.rhs_attr);
+      if (lhs_attr.is_categorical() !=
+          schema.attribute(pred.rhs_attr).is_categorical()) {
+        return Status::InvalidArgument(
+            "DC state: predicate compares categorical with numeric attribute");
+      }
+    }
+    attrs.insert(pred.lhs_attr);
+    if (pred.lhs_tuple == 1) mentions_t2 = true;
+    if (!pred.rhs_is_constant) {
+      attrs.insert(pred.rhs_attr);
+      if (pred.rhs_tuple == 1) mentions_t2 = true;
+    }
+    dc.predicates_.push_back(pred);
+  }
+  dc.is_unary_ = !mentions_t2;
+  dc.attributes_.assign(attrs.begin(), attrs.end());
+  return dc;
+}
+
+void DenialConstraint::SerializeTo(std::vector<uint8_t>* out) const {
+  const DenialConstraintState state = ToState();
+  io::AppendU32(out, static_cast<uint32_t>(state.predicates.size()));
+  for (const PredicateState& ps : state.predicates) {
+    io::AppendU8(out, ps.lhs_tuple);
+    io::AppendU64(out, ps.lhs_attr);
+    io::AppendU8(out, ps.op);
+    io::AppendU8(out, ps.rhs_is_constant);
+    if (ps.rhs_is_constant != 0) {
+      io::AppendU8(out, ps.constant_is_categorical);
+      if (ps.constant_is_categorical != 0) {
+        io::AppendU32(out, static_cast<uint32_t>(ps.constant_category));
+      } else {
+        io::AppendDouble(out, ps.constant_numeric);
+      }
+    } else {
+      io::AppendU8(out, ps.rhs_tuple);
+      io::AppendU64(out, ps.rhs_attr);
+    }
+  }
+}
+
+Result<DenialConstraint> DenialConstraint::DeserializeFrom(
+    io::ByteReader* in, const Schema& schema) {
+  Status truncated = Status::InvalidArgument("DC payload truncated");
+  uint32_t count = 0;
+  if (!in->ReadU32(&count)) return truncated;
+  if (count > in->remaining()) return truncated;
+  DenialConstraintState state;
+  state.predicates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PredicateState ps;
+    if (!in->ReadU8(&ps.lhs_tuple) || !in->ReadU64(&ps.lhs_attr) ||
+        !in->ReadU8(&ps.op) || !in->ReadU8(&ps.rhs_is_constant)) {
+      return truncated;
+    }
+    if (ps.rhs_is_constant == 1) {
+      if (!in->ReadU8(&ps.constant_is_categorical)) return truncated;
+      if (ps.constant_is_categorical == 1) {
+        uint32_t category = 0;
+        if (!in->ReadU32(&category)) return truncated;
+        ps.constant_category = static_cast<int32_t>(category);
+      } else if (ps.constant_is_categorical == 0) {
+        if (!in->ReadDouble(&ps.constant_numeric)) return truncated;
+      } else {
+        return Status::InvalidArgument("DC state: flag byte out of range");
+      }
+    } else if (ps.rhs_is_constant == 0) {
+      if (!in->ReadU8(&ps.rhs_tuple) || !in->ReadU64(&ps.rhs_attr)) {
+        return truncated;
+      }
+    } else {
+      return Status::InvalidArgument("DC state: flag byte out of range");
+    }
+    state.predicates.push_back(ps);
+  }
+  return FromState(state, schema);
 }
 
 bool DenialConstraint::FiresOrdered(const Row& a, const Row& b) const {

@@ -10,6 +10,10 @@
 
 namespace kamino {
 
+namespace io {
+class ByteReader;
+}  // namespace io
+
 /// Comparison operators allowed in denial-constraint predicates.
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
@@ -144,6 +148,29 @@ struct PredicateDecomposition {
   }
 };
 
+/// Plain serializable mirror of a `Predicate` (artifact serde). Tuple
+/// flags and the operator travel as raw bytes; `DenialConstraint::
+/// FromState` validates them against the schema.
+struct PredicateState {
+  uint8_t lhs_tuple = 0;
+  uint64_t lhs_attr = 0;
+  uint8_t op = 0;
+  uint8_t rhs_is_constant = 0;
+  uint8_t rhs_tuple = 0;
+  uint64_t rhs_attr = 0;
+  uint8_t constant_is_categorical = 0;
+  int32_t constant_category = 0;
+  double constant_numeric = 0.0;
+};
+
+/// Plain serializable mirror of a `DenialConstraint`: only the predicate
+/// list. The derived fields (`attributes()`, `is_unary()`) are recomputed
+/// by `FromState` exactly as `Parse` computes them, so a round-tripped DC
+/// is indistinguishable from a freshly parsed one.
+struct DenialConstraintState {
+  std::vector<PredicateState> predicates;
+};
+
 /// A denial constraint phi: "for all t1, t2: NOT (P1 & ... & Pm)".
 ///
 /// Parsed from a compact textual syntax, e.g.
@@ -230,6 +257,19 @@ class DenialConstraint {
 
   /// Round-trips the DC back to source syntax.
   std::string ToString(const Schema& schema) const;
+
+  /// Artifact serde: a plain state mirror, and validated reconstruction.
+  /// `FromState` rejects out-of-range attribute indices (arity flips),
+  /// unknown operator/tuple bytes, kind-mismatched comparisons, and
+  /// out-of-domain categorical constants with InvalidArgument.
+  DenialConstraintState ToState() const;
+  static Result<DenialConstraint> FromState(const DenialConstraintState& state,
+                                            const Schema& schema);
+
+  /// Wire form used inside model artifacts (io/bytes.h primitives).
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  static Result<DenialConstraint> DeserializeFrom(io::ByteReader* in,
+                                                  const Schema& schema);
 
  private:
   std::vector<Predicate> predicates_;

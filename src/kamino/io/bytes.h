@@ -1,0 +1,264 @@
+#ifndef KAMINO_IO_BYTES_H_
+#define KAMINO_IO_BYTES_H_
+
+// Little-endian byte primitives shared by the wire codecs: the streaming
+// chunk codec (data/chunk_codec.cc) and the model-artifact codec
+// (io/artifact.cc). Everything here is allocation-light and bounds-checked
+// on the read side: a `ByteReader` fails (returns false) on truncated or
+// overlong reads instead of walking off the buffer, so adversarial input
+// surfaces as a Status at the caller, never as undefined behavior.
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace kamino {
+namespace io {
+
+inline void AppendU8(std::vector<uint8_t>* out, uint8_t v) {
+  out->push_back(v);
+}
+
+inline void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+inline void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Doubles travel as IEEE-754 bit patterns, so NaN payloads, -0.0 and
+/// every finite value round-trip bit-exactly.
+inline void AppendDouble(std::vector<uint8_t>* out, double v) {
+  AppendU64(out, DoubleBits(v));
+}
+
+/// Length-prefixed UTF-8-agnostic byte string.
+inline void AppendString(std::vector<uint8_t>* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounded little-endian reader. Every read checks the *remaining* length
+/// (`count > size - pos`, which cannot overflow) so truncated payloads and
+/// absurd adversarial lengths both surface as a clean failure.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (size_ - pos_ < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= uint32_t{data_[pos_++]} << (8 * i);
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (size_ - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= uint64_t{data_[pos_++]} << (8 * i);
+    return true;
+  }
+
+  bool ReadDouble(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    *v = BitsDouble(bits);
+    return true;
+  }
+
+  bool ReadBytes(const uint8_t** p, size_t count) {
+    if (count > size_ - pos_) return false;
+    *p = data_ + pos_;
+    pos_ += count;
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    const uint8_t* bytes = nullptr;
+    if (!ReadU32(&len) || !ReadBytes(&bytes, len)) return false;
+    s->assign(reinterpret_cast<const char*>(bytes), len);
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Bits needed to represent `range` (>= 1 even for range 0, so packed
+/// blocks never claim zero-width cells).
+inline uint8_t BitWidthFor(uint64_t range) {
+  uint8_t w = 1;
+  while (w < 64 && (range >> w) != 0) ++w;
+  return w;
+}
+
+inline size_t PackedBytes(size_t n, uint8_t width) {
+  return (n * width + 7) / 8;
+}
+
+/// LSB-first bit packing of `width`-bit values. `width` <= 56 so the
+/// accumulator never overflows (56 value bits + 7 carried bits < 64).
+inline void PackBits(const std::vector<uint64_t>& vals, uint8_t width,
+                     std::vector<uint8_t>* out) {
+  uint64_t acc = 0;
+  int nbits = 0;
+  for (uint64_t v : vals) {
+    acc |= v << nbits;
+    nbits += width;
+    while (nbits >= 8) {
+      out->push_back(acc & 0xff);
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  if (nbits > 0) out->push_back(acc & 0xff);
+}
+
+inline bool UnpackBits(ByteReader* in, size_t n, uint8_t width,
+                       std::vector<uint64_t>* vals) {
+  // The byte-count arithmetic must not overflow for adversarial n: a
+  // wrapped `nbytes` would pass the bounds check and then over-read.
+  if (width == 0 || width > 56 ||
+      n > (std::numeric_limits<size_t>::max() - 7) / width) {
+    return false;
+  }
+  const size_t nbytes = PackedBytes(n, width);
+  const uint8_t* bytes = nullptr;
+  if (!in->ReadBytes(&bytes, nbytes)) return false;
+  const uint64_t mask = (uint64_t{1} << width) - 1;
+  vals->resize(n);
+  uint64_t acc = 0;
+  int nbits = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (nbits < width) {
+      acc |= uint64_t{bytes[pos++]} << nbits;
+      nbits += 8;
+    }
+    (*vals)[i] = acc & mask;
+    acc >>= width;
+    nbits -= width;
+  }
+  return true;
+}
+
+/// splitmix64 finalizer: every input bit affects every output bit.
+inline uint64_t Splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Integrity digest over a byte span: a splitmix64 chain absorbing the
+/// payload 8 bytes at a time, length-seeded so payloads that are prefixes
+/// of each other never collide trivially.
+inline uint64_t DigestBytes(const uint8_t* data, size_t size) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ size;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, data + i, 8);
+    h = Splitmix64(h ^ word);
+  }
+  if (i < size) {
+    uint64_t tail = 0;
+    for (size_t j = 0; i + j < size; ++j) tail |= uint64_t{data[i + j]} << (8 * j);
+    h = Splitmix64(h ^ tail);
+  }
+  return h;
+}
+
+/// Column-shaped u64 vector: length prefix, then the chunk codec's
+/// frame-of-reference bit packing against base 0 (sequence orders, sizes
+/// and attribute indices are tiny, so this is a few bits per entry). Wide
+/// values (> 56 bits) fall back to raw words under the 0xFF width tag.
+inline void AppendU64Vec(std::vector<uint8_t>* out,
+                         const std::vector<uint64_t>& vals) {
+  AppendU64(out, vals.size());
+  if (vals.empty()) return;
+  uint64_t hi = 0;
+  for (uint64_t v : vals) hi = v > hi ? v : hi;
+  const uint8_t width = BitWidthFor(hi);
+  if (width <= 56) {
+    AppendU8(out, width);
+    PackBits(vals, width, out);
+  } else {
+    AppendU8(out, 0xff);
+    for (uint64_t v : vals) AppendU64(out, v);
+  }
+}
+
+inline bool ReadU64Vec(ByteReader* in, std::vector<uint64_t>* vals) {
+  uint64_t n = 0;
+  if (!in->ReadU64(&n)) return false;
+  vals->clear();
+  if (n == 0) return true;
+  // Each entry costs at least one packed bit; anything claiming more
+  // entries than the remaining bits could hold is corrupt.
+  if (n > in->remaining() * 8ull) return false;
+  uint8_t width = 0;
+  if (!in->ReadU8(&width)) return false;
+  if (width == 0xff) {
+    if (n > in->remaining() / 8) return false;
+    vals->resize(static_cast<size_t>(n));
+    for (uint64_t& v : *vals) {
+      if (!in->ReadU64(&v)) return false;
+    }
+    return true;
+  }
+  return UnpackBits(in, static_cast<size_t>(n), width, vals);
+}
+
+/// Column-shaped double vector: length prefix + raw IEEE-754 bit patterns
+/// (model weights and noisy histograms are incompressible, so no scheme
+/// selection — exactly the chunk codec's kRawBits block shape).
+inline void AppendDoubleVec(std::vector<uint8_t>* out,
+                            const std::vector<double>& vals) {
+  AppendU64(out, vals.size());
+  for (double v : vals) AppendDouble(out, v);
+}
+
+inline bool ReadDoubleVec(ByteReader* in, std::vector<double>* vals) {
+  uint64_t n = 0;
+  if (!in->ReadU64(&n)) return false;
+  if (n > in->remaining() / 8) return false;
+  vals->resize(static_cast<size_t>(n));
+  for (double& v : *vals) {
+    if (!in->ReadDouble(&v)) return false;
+  }
+  return true;
+}
+
+}  // namespace io
+}  // namespace kamino
+
+#endif  // KAMINO_IO_BYTES_H_

@@ -39,6 +39,77 @@ DiscriminativeModel::DiscriminativeModel(const Schema& schema,
   b2_ = std::make_unique<Parameter>(Tensor(1, out_dim));
 }
 
+Result<std::unique_ptr<DiscriminativeModel>> DiscriminativeModel::Create(
+    const Schema& schema, std::vector<size_t> context,
+    std::vector<size_t> targets, EncoderStore* store, Rng* rng) {
+  if (context.empty()) {
+    return Status::InvalidArgument("discriminative model needs context");
+  }
+  if (targets.empty()) {
+    return Status::InvalidArgument("discriminative model needs a target");
+  }
+  for (size_t a : context) {
+    if (a >= schema.size()) {
+      return Status::InvalidArgument("context attribute index " +
+                                     std::to_string(a) +
+                                     " out of range for schema arity " +
+                                     std::to_string(schema.size()));
+    }
+  }
+  for (size_t t : targets) {
+    if (t >= schema.size()) {
+      return Status::InvalidArgument("target attribute index " +
+                                     std::to_string(t) +
+                                     " out of range for schema arity " +
+                                     std::to_string(schema.size()));
+    }
+  }
+  const bool numeric_single =
+      targets.size() == 1 && schema.attribute(targets[0]).is_numeric();
+  if (!numeric_single) {
+    for (size_t t : targets) {
+      if (!schema.attribute(t).is_categorical()) {
+        return Status::InvalidArgument(
+            "joint targets must all be categorical");
+      }
+    }
+  }
+  return std::make_unique<DiscriminativeModel>(
+      schema, std::move(context), std::move(targets), store, rng);
+}
+
+void DiscriminativeModel::ExportHeadTensors(std::vector<Tensor>* out) const {
+  out->push_back(query_->value);
+  out->push_back(w1_->value);
+  out->push_back(b1_->value);
+  out->push_back(w2_->value);
+  out->push_back(b2_->value);
+}
+
+Status DiscriminativeModel::ImportHeadTensors(const std::vector<Tensor>& values,
+                                              size_t* pos) {
+  Parameter* const head[] = {query_.get(), w1_.get(), b1_.get(), w2_.get(),
+                             b2_.get()};
+  constexpr size_t kHeadCount = sizeof(head) / sizeof(head[0]);
+  if (*pos > values.size() || values.size() - *pos < kHeadCount) {
+    return Status::InvalidArgument("head tensor list exhausted");
+  }
+  for (size_t i = 0; i < kHeadCount; ++i) {
+    const Tensor& v = values[*pos + i];
+    const Tensor& have = head[i]->value;
+    if (v.rows() != have.rows() || v.cols() != have.cols()) {
+      return Status::InvalidArgument(
+          "head tensor " + std::to_string(i) + " shape " +
+          std::to_string(v.rows()) + "x" + std::to_string(v.cols()) +
+          " != expected " + std::to_string(have.rows()) + "x" +
+          std::to_string(have.cols()));
+    }
+  }
+  for (size_t i = 0; i < kHeadCount; ++i) head[i]->value = values[*pos + i];
+  *pos += kHeadCount;
+  return Status::OK();
+}
+
 size_t DiscriminativeModel::JointIndex(const Row& row) const {
   KAMINO_CHECK(target_is_categorical_) << "numeric target has no joint index";
   size_t index = 0;

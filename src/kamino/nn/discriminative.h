@@ -37,6 +37,14 @@ class DiscriminativeModel {
                       std::vector<size_t> targets, EncoderStore* store,
                       Rng* rng);
 
+  /// Validating factory for deserialization paths: returns InvalidArgument
+  /// (instead of the constructor's KAMINO_CHECK abort) for an empty
+  /// context, empty targets, out-of-range indices, or a multi-attribute
+  /// target containing a numeric attribute.
+  static Result<std::unique_ptr<DiscriminativeModel>> Create(
+      const Schema& schema, std::vector<size_t> context,
+      std::vector<size_t> targets, EncoderStore* store, Rng* rng);
+
   /// Builds the per-example loss graph. The returned Var is the scalar
   /// loss; `ctx` records the parameter bindings for gradient extraction.
   Var Loss(const Row& row, ForwardContext* ctx) const;
@@ -64,6 +72,13 @@ class DiscriminativeModel {
   const std::vector<size_t>& targets() const { return targets_; }
   bool target_is_categorical() const { return target_is_categorical_; }
   size_t joint_domain_size() const { return out_dim_categorical_; }
+
+  /// Artifact serde for the model-private head only (the context encoders
+  /// are serialized with their store): query, w1, b1, w2, b2 in that
+  /// order. `ImportHeadTensors` consumes from `values` at `*pos` and fails
+  /// with InvalidArgument on shape mismatch, leaving the head unmodified.
+  void ExportHeadTensors(std::vector<Tensor>* out) const;
+  Status ImportHeadTensors(const std::vector<Tensor>& values, size_t* pos);
 
  private:
   Var Output(const Row& row, ForwardContext* ctx) const;

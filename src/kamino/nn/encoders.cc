@@ -66,6 +66,43 @@ void AttributeEncoder::CopyFrom(const AttributeEncoder& other) {
   }
 }
 
+void AttributeEncoder::ExportTensors(std::vector<Tensor>* out) const {
+  if (is_categorical_) {
+    out->push_back(lookup_->value);
+    return;
+  }
+  out->push_back(num_a_->value);
+  out->push_back(num_c_->value);
+  out->push_back(num_b_->value);
+  out->push_back(num_d_->value);
+}
+
+Status AttributeEncoder::ImportTensors(const std::vector<Tensor>& values,
+                                       size_t* pos) {
+  std::vector<Parameter*> params = Parameters();
+  if (*pos > values.size() || values.size() - *pos < params.size()) {
+    return Status::InvalidArgument("encoder tensor list exhausted");
+  }
+  // Validate every shape before assigning anything, so a mismatch leaves
+  // the encoder untouched.
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Tensor& v = values[*pos + i];
+    const Tensor& have = params[i]->value;
+    if (v.rows() != have.rows() || v.cols() != have.cols()) {
+      return Status::InvalidArgument(
+          "encoder tensor " + std::to_string(i) + " shape " +
+          std::to_string(v.rows()) + "x" + std::to_string(v.cols()) +
+          " != expected " + std::to_string(have.rows()) + "x" +
+          std::to_string(have.cols()));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = values[*pos + i];
+  }
+  *pos += params.size();
+  return Status::OK();
+}
+
 EncoderStore::EncoderStore(const Schema& schema, size_t embed_dim, Rng* rng)
     : embed_dim_(embed_dim) {
   encoders_.reserve(schema.size());
@@ -73,6 +110,18 @@ EncoderStore::EncoderStore(const Schema& schema, size_t embed_dim, Rng* rng)
     encoders_.push_back(std::make_unique<AttributeEncoder>(
         schema.attribute(i), embed_dim, rng));
   }
+}
+
+void EncoderStore::ExportTensors(std::vector<Tensor>* out) const {
+  for (const auto& encoder : encoders_) encoder->ExportTensors(out);
+}
+
+Status EncoderStore::ImportTensors(const std::vector<Tensor>& values,
+                                   size_t* pos) {
+  for (auto& encoder : encoders_) {
+    KAMINO_RETURN_IF_ERROR(encoder->ImportTensors(values, pos));
+  }
+  return Status::OK();
 }
 
 }  // namespace kamino

@@ -30,6 +30,14 @@ class AttributeEncoder {
   /// reuse of Algorithm 2 lines 7/19).
   void CopyFrom(const AttributeEncoder& other);
 
+  /// Artifact serde: appends the trained tensor values in `Parameters()`
+  /// order, and restores them from a flat tensor list. `ImportTensors`
+  /// consumes this encoder's tensors starting at `*pos` (advancing it) and
+  /// fails with InvalidArgument on a count or shape mismatch, leaving the
+  /// encoder unmodified on error.
+  void ExportTensors(std::vector<Tensor>* out) const;
+  Status ImportTensors(const std::vector<Tensor>& values, size_t* pos);
+
   size_t embed_dim() const { return embed_dim_; }
   bool is_categorical() const { return is_categorical_; }
 
@@ -77,6 +85,11 @@ class EncoderStore {
   }
 
   size_t embed_dim() const { return embed_dim_; }
+
+  /// Artifact serde over every encoder in schema order (see
+  /// AttributeEncoder::ExportTensors/ImportTensors).
+  void ExportTensors(std::vector<Tensor>* out) const;
+  Status ImportTensors(const std::vector<Tensor>& values, size_t* pos);
 
  private:
   size_t embed_dim_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "kamino/io/artifact.h"
 #include "kamino/obs/metrics.h"
 #include "kamino/obs/trace.h"
 
@@ -38,7 +39,46 @@ void BumpServiceCounter(const char* which, int64_t delta = 1) {
   reg.counter(std::string("kamino.service.") + which)->Increment(delta);
 }
 
+void BumpRegistryCounter(const char* which, int64_t delta = 1) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.counter(std::string("kamino.registry.") + which)->Increment(delta);
+}
+
 }  // namespace
+
+FittedModel FittedModel::FromArtifacts(FitArtifacts artifacts) {
+  return FittedModel(
+      std::make_shared<const FitArtifacts>(std::move(artifacts)));
+}
+
+Result<std::vector<uint8_t>> FittedModel::Serialize() const {
+  if (!valid()) {
+    return Status::FailedPrecondition(
+        "cannot serialize an empty FittedModel handle");
+  }
+  return io::SerializeFitArtifacts(*state_);
+}
+
+Result<FittedModel> FittedModel::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  KAMINO_ASSIGN_OR_RETURN(FitArtifacts artifacts,
+                          io::DeserializeFitArtifacts(bytes));
+  return FromArtifacts(std::move(artifacts));
+}
+
+Status FittedModel::Save(const std::string& path) const {
+  if (!valid()) {
+    return Status::FailedPrecondition(
+        "cannot save an empty FittedModel handle");
+  }
+  return io::SaveFitArtifacts(*state_, path);
+}
+
+Result<FittedModel> FittedModel::Load(const std::string& path) {
+  KAMINO_ASSIGN_OR_RETURN(FitArtifacts artifacts, io::LoadFitArtifacts(path));
+  return FromArtifacts(std::move(artifacts));
+}
 
 /// Job state shared between the handle, the queue body and the hooks.
 /// Progress fields are lock-free atomics (polled from pool workers);
@@ -97,6 +137,10 @@ KaminoEngine::KaminoEngine(const Options& options) {
   runtime::SetGlobalNumThreads(options.num_threads);
   pool_ = runtime::GlobalThreadPool();
   jobs_ = std::make_unique<runtime::JobQueue>(options.max_concurrent_jobs);
+  // A constructor cannot return a Status, so an out-of-range capacity is
+  // clamped rather than rejected (KaminoOptions::Validate still rejects 0
+  // for configs that flow through the pipeline entry points).
+  registry_capacity_ = std::max<size_t>(1, options.model_registry_capacity);
 }
 
 KaminoEngine::~KaminoEngine() {
@@ -244,6 +288,68 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
       submitted_.end());
   submitted_.push_back(job->queue_job_);
   return job;
+}
+
+Status KaminoEngine::RegisterModel(const std::string& id,
+                                   const FittedModel& model) {
+  if (id.empty()) {
+    return Status::InvalidArgument("model id must be non-empty");
+  }
+  if (!model.valid()) {
+    return Status::InvalidArgument(
+        "cannot register an empty FittedModel handle");
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_index_.find(id);
+  if (it != registry_index_.end()) {
+    it->second->second = model;
+    registry_lru_.splice(registry_lru_.begin(), registry_lru_, it->second);
+    return Status::OK();
+  }
+  registry_lru_.emplace_front(id, model);
+  registry_index_[id] = registry_lru_.begin();
+  while (registry_lru_.size() > registry_capacity_) {
+    registry_index_.erase(registry_lru_.back().first);
+    registry_lru_.pop_back();
+    BumpRegistryCounter("evictions");
+  }
+  return Status::OK();
+}
+
+Result<FittedModel> KaminoEngine::GetModel(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_index_.find(id);
+  if (it == registry_index_.end()) {
+    BumpRegistryCounter("misses");
+    return Status::NotFound("no model registered under id '" + id + "'");
+  }
+  registry_lru_.splice(registry_lru_.begin(), registry_lru_, it->second);
+  BumpRegistryCounter("hits");
+  return it->second->second;
+}
+
+Result<FittedModel> KaminoEngine::LoadModel(const std::string& id,
+                                            const std::string& path) {
+  KAMINO_ASSIGN_OR_RETURN(FittedModel model, FittedModel::Load(path));
+  KAMINO_RETURN_IF_ERROR(RegisterModel(id, model));
+  return model;
+}
+
+size_t KaminoEngine::registry_size() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return registry_lru_.size();
+}
+
+Result<SynthesisResult> KaminoEngine::Synthesize(
+    const std::string& model_id, const SynthesisRequest& request) const {
+  KAMINO_ASSIGN_OR_RETURN(FittedModel model, GetModel(model_id));
+  return Synthesize(model, request);
+}
+
+Result<std::shared_ptr<SynthesisJob>> KaminoEngine::Submit(
+    const std::string& model_id, const SynthesisRequest& request) {
+  KAMINO_ASSIGN_OR_RETURN(FittedModel model, GetModel(model_id));
+  return Submit(model, request);
 }
 
 std::string KaminoEngine::DumpMetrics() const {

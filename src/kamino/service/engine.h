@@ -24,9 +24,12 @@
 // optional streaming row delivery through a `RowSink`.
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "kamino/common/logging.h"
@@ -43,9 +46,15 @@ namespace kamino {
 /// The immutable artifact of one `KaminoEngine::Fit` call: the trained
 /// probabilistic model, the weighted constraint set, the resolved DP
 /// parameters and the fit's privacy spend. Cheap to copy (a shared
-/// reference), safe to share across threads and engines, and valid after
-/// the fitted data table is released — synthesis never touches the
-/// private instance again.
+/// reference), safe to share across threads and engines.
+///
+/// Ownership: a FittedModel owns ALL of its state. Nothing in the handle
+/// aliases the fitted data table (or any other input) — the schema,
+/// constraint set, encoder tensors and RNG snapshot are deep copies made
+/// during the fit, so the input table may be released (or mutated)
+/// immediately after `Fit` returns, and a model loaded from an artifact
+/// file is self-contained with no live inputs at all. Synthesis never
+/// touches the private instance again.
 class FittedModel {
  public:
   /// An empty handle; `valid()` is false until assigned from `Fit`.
@@ -74,6 +83,23 @@ class FittedModel {
   /// The underlying stage artifacts (for callers composing the core
   /// pipeline directly, e.g. the bench harness).
   const FitArtifacts& artifacts() const { return state(); }
+
+  /// Wraps already-computed stage artifacts in a model handle (for
+  /// callers that ran the core pipeline stages directly).
+  static FittedModel FromArtifacts(FitArtifacts artifacts);
+
+  /// The model's wire form (io/artifact.h): a versioned, digest-sealed
+  /// byte string. Serialize -> Deserialize -> Serialize is byte-identical.
+  /// Fails with FailedPrecondition on an empty handle.
+  Result<std::vector<uint8_t>> Serialize() const;
+  /// Parses and validates an artifact byte string. Corruption of any kind
+  /// (truncation, bit flips, version/kind/arity tampering) is rejected
+  /// with a Status. The returned model owns all of its state.
+  static Result<FittedModel> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// File forms of the above. I/O failures surface as IoError.
+  Status Save(const std::string& path) const;
+  static Result<FittedModel> Load(const std::string& path);
 
  private:
   friend class KaminoEngine;
@@ -228,6 +254,10 @@ class KaminoEngine {
     /// Jobs executing concurrently; the rest wait queued in submission
     /// order.
     size_t max_concurrent_jobs = 2;
+    /// Capacity of the engine's LRU registry of hot models (see
+    /// RegisterModel). Values below 1 are clamped to 1. Defaults to the
+    /// KaminoOptions knob of the same name.
+    size_t model_registry_capacity = KaminoOptions().model_registry_capacity;
   };
 
   /// Default options: hardware-concurrency thread budget, 2 concurrent
@@ -262,6 +292,41 @@ class KaminoEngine {
   std::shared_ptr<SynthesisJob> Submit(const FittedModel& model,
                                        const SynthesisRequest& request);
 
+  // --- Model registry -------------------------------------------------
+  //
+  // An LRU cache of hot fitted models keyed by caller-chosen ids, so a
+  // long-lived service can address models by name ("adult-v3") instead of
+  // threading handles through every call site. Registering past
+  // `Options::model_registry_capacity` evicts the least recently used
+  // entry (counted as `kamino.registry.evictions` when metrics are on);
+  // an evicted model stays alive for anyone still holding its handle —
+  // only the registry's reference is dropped.
+
+  /// Inserts (or overwrites) `id` -> `model` and marks it most recently
+  /// used. Rejects empty ids and invalid handles with InvalidArgument.
+  Status RegisterModel(const std::string& id, const FittedModel& model);
+
+  /// Looks up a registered model and marks it most recently used.
+  /// NotFound for unknown (or evicted) ids. Hits and misses are counted
+  /// (`kamino.registry.hits` / `kamino.registry.misses`).
+  Result<FittedModel> GetModel(const std::string& id) const;
+
+  /// Loads an artifact file (FittedModel::Load) and registers it under
+  /// `id` in one step, returning the loaded model.
+  Result<FittedModel> LoadModel(const std::string& id,
+                                const std::string& path);
+
+  /// Registered model count (for introspection/tests).
+  size_t registry_size() const;
+
+  /// Synthesize/Submit against a registered model id; NotFound when the
+  /// id is unknown. Equivalent to GetModel + the handle overloads (the
+  /// lookup refreshes the id's LRU position).
+  Result<SynthesisResult> Synthesize(const std::string& model_id,
+                                     const SynthesisRequest& request) const;
+  Result<std::shared_ptr<SynthesisJob>> Submit(const std::string& model_id,
+                                               const SynthesisRequest& request);
+
   /// JSON snapshot of the process-wide metrics registry (counters,
   /// gauges, histograms — see README "Observability" for the catalog).
   /// Meaningful after a run with `enable_metrics`; otherwise the
@@ -283,6 +348,18 @@ class KaminoEngine {
   // pruned of finished jobs on every Submit.
   mutable std::mutex mu_;
   std::vector<std::weak_ptr<runtime::JobQueue::Job>> submitted_;
+
+  // LRU model registry. The list holds (id, model) pairs ordered from
+  // most to least recently used; the index maps ids to list iterators
+  // (stable under splice). GetModel refreshes recency, hence the mutable
+  // members behind a const API. Guarded by registry_mu_ (separate from
+  // mu_ so registry lookups never contend with job submission).
+  size_t registry_capacity_ = 1;
+  mutable std::mutex registry_mu_;
+  mutable std::list<std::pair<std::string, FittedModel>> registry_lru_;
+  mutable std::unordered_map<
+      std::string, std::list<std::pair<std::string, FittedModel>>::iterator>
+      registry_index_;
 };
 
 }  // namespace kamino

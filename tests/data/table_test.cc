@@ -29,13 +29,16 @@ TEST(TableTest, ResizeAndSet) {
   EXPECT_EQ(t.at(1, 0).category(), 1);
 }
 
-TEST(TableTest, Column) {
+TEST(TableTest, TypedColumnSpans) {
   Table t(TestSchema());
   ASSERT_TRUE(t.AppendRow({Value::Categorical(0), Value::Numeric(1)}).ok());
   ASSERT_TRUE(t.AppendRow({Value::Categorical(1), Value::Numeric(2)}).ok());
-  std::vector<Value> col = t.Column(1);
-  ASSERT_EQ(col.size(), 2u);
-  EXPECT_DOUBLE_EQ(col[1].numeric(), 2.0);
+  const std::vector<double>& nums = t.numeric_data(1);
+  ASSERT_EQ(nums.size(), 2u);
+  EXPECT_DOUBLE_EQ(nums[1], 2.0);
+  const std::vector<int32_t>& codes = t.code_data(0);
+  ASSERT_EQ(codes.size(), 2u);
+  EXPECT_EQ(codes[1], 1);
 }
 
 TEST(TableTest, HeadTruncates) {

@@ -493,34 +493,47 @@ int Main() {
             (fit_seconds + synthesize_seconds / kRequests),
         kRequests);
 
-    // Streaming: wall clock to the first delivered chunk vs job total.
-    struct FirstChunkSink : RowSink {
-      double start = 0.0;
-      double first_chunk = -1.0;
+    // Streaming: time to the first delivered chunk vs job total, global
+    // merge vs progressive prefix-frozen merge, across request sizes.
+    // Both clocks come from the engine's own telemetry, which starts at
+    // job start (after dequeue) — queue wait is excluded, so the numbers
+    // measure sampling + merge latency, not Submit-to-dequeue slack.
+    struct CountingSink : RowSink {
       size_t chunks = 0;
       Status OnChunk(const TableChunk&) override {
-        if (first_chunk < 0.0) first_chunk = Now() - start;
         ++chunks;
         return Status::OK();
       }
     };
-    FirstChunkSink sink;
-    SynthesisRequest streaming;
-    streaming.seed = 7;
-    streaming.num_shards = 4;
-    streaming.sink = &sink;
-    streaming.collect_table = false;
-    sink.start = Now();
-    auto job = engine.Submit(model.value(), streaming);
-    auto job_result = job->Wait();
-    const double job_seconds = Now() - sink.start;
-    KAMINO_CHECK(job_result.ok()) << job_result.status();
-    KAMINO_CHECK(sink.chunks == 4u) << "streaming run lost chunks";
-    records.push_back({"stream_first_chunk_shards4", rows, 1,
-                       sink.first_chunk});
-    records.push_back({"stream_job_total_shards4", rows, 1, job_seconds});
-    std::printf("%-28s %8s %12.4f  (job total %.4f)\n",
-                "stream_first_chunk", "s=4", sink.first_chunk, job_seconds);
+    std::printf("\n%-28s %8s %12s %12s\n", "method", "rows", "first_chunk",
+                "job_total");
+    for (size_t stream_rows : {size_t{600}, size_t{2400}, size_t{9600}}) {
+      for (bool progressive : {false, true}) {
+        CountingSink sink;
+        SynthesisRequest streaming;
+        streaming.seed = 7;
+        streaming.num_rows = stream_rows;
+        streaming.num_shards = 4;
+        streaming.progressive_merge = progressive;
+        streaming.sink = &sink;
+        streaming.collect_table = false;
+        auto job = engine.Submit(model.value(), streaming);
+        auto job_result = job->Wait();
+        KAMINO_CHECK(job_result.ok()) << job_result.status();
+        KAMINO_CHECK(sink.chunks == 4u) << "streaming run lost chunks";
+        const double first = job_result.value().telemetry.first_chunk_seconds;
+        const double total = job_result.value().sampling_seconds;
+        records.push_back({progressive ? "stream_first_chunk_shards4"
+                                       : "stream_first_chunk_global_shards4",
+                           stream_rows, 1, first});
+        records.push_back({progressive ? "stream_job_total_shards4"
+                                       : "stream_job_total_global_shards4",
+                           stream_rows, 1, total});
+        std::printf("%-28s %8zu %12.4f %12.4f\n",
+                    progressive ? "stream_progressive" : "stream_global",
+                    stream_rows, first, total);
+      }
+    }
 
     // Model artifact serde: the cost of checkpointing a fit to its wire
     // form and rehydrating it (what a load-by-id worker pays per cold

@@ -149,6 +149,21 @@ struct KaminoOptions {
   /// `DecodeChunkColumns`; round trips are bit-exact, so the delivered
   /// rows are unchanged — only their wire form is. Off by default.
   bool compress_chunks = false;
+  /// Reconcile each shard against the already-frozen prefix [0, s) as
+  /// soon as it finishes sampling, freeze the grown prefix, and emit its
+  /// chunk immediately — while later shards are still sampling — instead
+  /// of running one global merge after all shards complete. Cuts
+  /// time-to-first-chunk from ~= job total to ~ 1/num_shards of it.
+  /// Contract: output is a pure function of (seed, num_shards),
+  /// bit-identical at any num_threads; rows already emitted are never
+  /// rewritten (prefix immutability); hard DCs are exact over the frozen
+  /// prefix after every freeze. The freeze may only rewrite the incoming
+  /// shard's rows, so the result generally differs from the global
+  /// merge's joint choices (and soft-DC repair sweeps run in row order;
+  /// `merge_soft_penalty_delta` is not measured). No effect at
+  /// num_shards <= 1, which keeps the paper-semantics sequential sampler
+  /// (golden digest) regardless of this flag. Off by default.
+  bool progressive_merge = false;
 
   // --- Model registry (src/kamino/service/engine.h) ---
   /// Capacity of the engine's LRU registry of hot fitted models

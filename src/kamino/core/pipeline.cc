@@ -148,6 +148,7 @@ Result<Table> SamplePipeline(const FitArtifacts& fitted,
     runtime::SetGlobalNumThreads(spec.num_threads);
   }
   if (spec.compress_chunks) options.compress_chunks = true;
+  if (spec.progressive_merge) options.progressive_merge = true;
   ApplyObservabilityOptions(options);
   const size_t n = spec.num_rows == 0 ? fitted.input_rows : spec.num_rows;
 

@@ -87,6 +87,10 @@ struct SampleSpec {
   /// (see `KaminoOptions::compress_chunks`). Never changes the rows,
   /// only their wire form.
   bool compress_chunks = false;
+  /// Stream through the progressive prefix-frozen merge: each shard is
+  /// reconciled against the frozen prefix and its chunk emitted as soon
+  /// as it finishes sampling (see `KaminoOptions::progressive_merge`).
+  bool progressive_merge = false;
 
   static constexpr size_t kUnset = static_cast<size_t>(-1);
 };

@@ -1,0 +1,100 @@
+#ifndef KAMINO_CORE_PREFIX_MERGE_H_
+#define KAMINO_CORE_PREFIX_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kamino/data/table.h"
+
+namespace kamino {
+
+/// Prefix-frozen reconciliation primitives for the progressive shard
+/// merge (`KaminoOptions::progressive_merge`).
+///
+/// Both passes bring the suffix rows [frozen_end, num_rows) of a table —
+/// a freshly sampled shard appended behind the already-delivered prefix —
+/// into agreement with the frozen prefix [0, frozen_end) while NEVER
+/// writing a frozen cell. They are the prefix-respecting counterparts of
+/// the global merge's joint hard-FD canonicalization and rank alignment
+/// (core/sampler.cc), which are free to rewrite any row of the union and
+/// therefore cannot run after chunks have left the process.
+///
+/// Both are pure deterministic functions of the table contents: no RNG,
+/// no iteration-order dependence (groups and components are walked in
+/// value / smallest-row order).
+
+/// All hard FDs sharing one right-hand-side attribute. FDs with a common
+/// RHS must be canonicalized jointly — fixing them one at a time lets a
+/// row satisfy one FD by breaking another (see the tax workload, where
+/// `zip -> state` and `areacode -> state` share `state`).
+struct PrefixFdFamily {
+  /// The shared RHS attribute.
+  size_t rhs = 0;
+  /// One LHS attribute set per FD in the family.
+  std::vector<std::vector<size_t>> lhs_sets;
+};
+
+/// Forces the suffix rows onto the frozen prefix's canonical FD values.
+///
+/// Suffix rows that any family FD transitively forces to agree are
+/// unioned into components. A component with at least one frozen LHS-key
+/// match adopts the value of the match with the smallest frozen
+/// representative row; a component with none canonicalizes to its
+/// smallest member's value (the global merge's rule, applied
+/// suffix-internally). When a member's key under some FD is frozen with a
+/// *different* value than the adopted one — the row bridges two frozen
+/// groups, which the global pass would resolve by rewriting one of them —
+/// the member's LHS attributes for that FD are overwritten with the
+/// adopted representative's, re-pointing the key at a frozen group that
+/// already agrees. Rounds repeat until a fixpoint (bounded by the schema
+/// width) so rewrites cascading into other families' keys settle.
+///
+/// Returns the number of cells rewritten; flags every touched attribute
+/// in `attr_modified` (schema-width vector, may be null). Frozen rows are
+/// never written, so if the prefix was FD-exact before the call it still
+/// is, and afterwards the whole table is.
+int64_t PrefixFrozenFdCanonicalize(Table* table,
+                                   const std::vector<PrefixFdFamily>& families,
+                                   size_t frozen_end,
+                                   std::vector<bool>* attr_modified);
+
+/// One equality-scoped hard order DC in alignment form (the shape
+/// `DenialConstraint::AsGroupedOrderSpec` recognizes): within each
+/// `group_attrs` value group, `dep_attr` must be weakly monotone in
+/// `ctx_attr` — co-monotone or anti-monotone; ties never violate.
+struct PrefixAlignSpec {
+  std::vector<size_t> group_attrs;
+  size_t ctx_attr = 0;
+  size_t dep_attr = 0;
+  bool co_monotone = true;
+};
+
+/// Slots the suffix rows of each group into the frozen rows' monotone
+/// relation without moving a frozen cell.
+///
+/// Per group, the frozen rows (sorted by context) define an envelope for
+/// a new row at context x: its oriented dependent value must be >= the
+/// greatest frozen dependent at contexts strictly below x (`lo`) and
+/// <= the least frozen dependent at contexts strictly above x (`hi`).
+/// Frozen ties at x impose nothing, and a violation-free frozen prefix
+/// guarantees lo <= hi. The suffix rows are first rank-aligned among
+/// themselves — walked in (context, row) order, they receive their own
+/// dependent values in oriented sorted order, preserving the shard's
+/// value multiset exactly as the global alignment does — and then each is
+/// clamped into its envelope (the only step that can substitute a frozen
+/// value for a sampled one). Since `lo`, `hi`, and the rank-aligned
+/// targets are all non-decreasing along the walk, the clamped sequence is
+/// too: the group ends with zero violations, intra-suffix and
+/// cross-prefix. If the frozen prefix itself is non-monotone (possible
+/// only after a hard-FDs-win re-canonicalization broke an earlier
+/// alignment) the envelope can invert; the upper bound wins,
+/// deterministically.
+///
+/// Returns the number of cells rewritten.
+int64_t PrefixFrozenRankAlign(Table* table, const PrefixAlignSpec& spec,
+                              size_t frozen_end);
+
+}  // namespace kamino
+
+#endif  // KAMINO_CORE_PREFIX_MERGE_H_

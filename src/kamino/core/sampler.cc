@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "kamino/common/logging.h"
+#include "kamino/core/prefix_merge.h"
 #include "kamino/core/sequencing.h"
 #include "kamino/data/chunk_codec.h"
 #include "kamino/dc/violations.h"
@@ -643,6 +647,100 @@ size_t ResolveNumShards(const KaminoOptions& options, size_t n) {
   return shards;
 }
 
+/// A hard order DC reconciled by rank alignment instead of per-row
+/// re-sampling (see BuildAlignTasks).
+struct AlignTask {
+  size_t dc = 0;              // index into `constraints`
+  std::vector<size_t> group;  // equality scope (empty for the pair form)
+  size_t ctx = 0;             // sort context attribute
+  size_t dep = 0;             // attribute whose values get reassigned
+  bool co_monotone = true;
+};
+
+/// Hard (possibly equality-scoped) order DCs are reconciled by rank
+/// alignment instead of per-row re-sampling: each shard's internally
+/// monotone relation disagrees with the others', and no sequence of
+/// single-row repairs can make disagreeing monotone maps agree. Identify
+/// them up front so the repair budget is not wasted there. `probe_indices`
+/// (any completed shard's index vector) tells which DCs actually built
+/// indices this run; `alignable` is sized to `constraints` and flags the
+/// accepted tasks' DCs.
+std::vector<AlignTask> BuildAlignTasks(
+    const ProbabilisticDataModel& model,
+    const std::vector<WeightedConstraint>& constraints,
+    const ActivationMap& activation,
+    const std::vector<std::unique_ptr<ViolationIndex>>& probe_indices,
+    std::vector<bool>* alignable) {
+  alignable->assign(constraints.size(), false);
+  std::vector<AlignTask> alignments;
+  // Attributes an accepted task's correctness depends on: a later task
+  // whose dep would rewrite one of them would silently re-break the
+  // earlier task's zeroed DC, so such a task falls back to repair instead.
+  std::vector<size_t> locked_attrs;
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (probe_indices[l] == nullptr || !constraints[l].hard) continue;
+    std::optional<GroupedOrderSpec> spec =
+        constraints[l].dc.AsGroupedOrderSpec();
+    if (!spec.has_value()) continue;
+    AlignTask task;
+    task.dc = l;
+    task.group = spec->group_attrs;
+    task.co_monotone = spec->co_monotone;
+    const size_t x = spec->x_attr;
+    const size_t y = spec->y_attr;
+    const size_t u = activation.dc_unit[l];
+    if (u == SIZE_MAX || model.units()[u].attrs.size() != 1) continue;
+    // The dependent side is the attribute sampled last (the activating
+    // unit's attribute); its values get reassigned, the other side is the
+    // sort context.
+    const size_t a = model.units()[u].attrs[0];
+    if (a == y) {
+      task.dep = y;
+      task.ctx = x;
+    } else if (a == x) {
+      task.dep = x;
+      task.ctx = y;
+    } else {
+      continue;  // the unit samples a group attribute; fall back to repair
+    }
+    if (std::find(locked_attrs.begin(), locked_attrs.end(), task.dep) !=
+        locked_attrs.end()) {
+      continue;  // would rewrite an earlier task's attribute
+    }
+    locked_attrs.push_back(task.dep);
+    locked_attrs.push_back(task.ctx);
+    locked_attrs.insert(locked_attrs.end(), task.group.begin(),
+                        task.group.end());
+    (*alignable)[l] = true;
+    alignments.push_back(std::move(task));
+  }
+  return alignments;
+}
+
+/// Indexed hard FDs grouped by RHS attribute, in the joint-canonicalization
+/// form the prefix-frozen pass consumes (ascending RHS, so deterministic).
+std::vector<PrefixFdFamily> BuildFdFamilies(
+    const std::vector<WeightedConstraint>& constraints,
+    const std::vector<std::unique_ptr<ViolationIndex>>& probe_indices) {
+  std::map<size_t, PrefixFdFamily> by_rhs;
+  for (size_t l = 0; l < constraints.size(); ++l) {
+    if (!constraints[l].hard || probe_indices[l] == nullptr) continue;
+    std::vector<size_t> lhs;
+    size_t rhs = 0;
+    if (!constraints[l].dc.AsFd(&lhs, &rhs)) continue;
+    PrefixFdFamily& family = by_rhs[rhs];
+    family.rhs = rhs;
+    family.lhs_sets.push_back(std::move(lhs));
+  }
+  std::vector<PrefixFdFamily> families;
+  families.reserve(by_rhs.size());
+  for (auto& [rhs, family] : by_rhs) {
+    (void)rhs;
+    families.push_back(std::move(family));
+  }
+  return families;
+}
+
 /// The shard-boundary reconciliation pass, run after the per-shard tables
 /// are concatenated into `out` (global row r of shard s lives at
 /// offsets[s] + r):
@@ -710,61 +808,11 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
             .count();
   }
 
-  // Hard (possibly equality-scoped) order DCs are reconciled by rank
-  // alignment (step 4) instead of per-row re-sampling: each shard's
-  // internally monotone relation disagrees with the others', and no
-  // sequence of single-row repairs can make disagreeing monotone maps
-  // agree. Identify them up front so step 2's budget is not wasted there.
-  struct AlignTask {
-    size_t dc = 0;              // index into `constraints`
-    std::vector<size_t> group;  // equality scope (empty for the pair form)
-    size_t ctx = 0;             // sort context attribute
-    size_t dep = 0;             // attribute whose values get reassigned
-    bool co_monotone = true;
-  };
-  std::vector<bool> alignable(constraints.size(), false);
-  std::vector<AlignTask> alignments;
-  // Attributes an accepted task's correctness depends on: a later task
-  // whose dep would rewrite one of them would silently re-break the
-  // earlier task's zeroed DC, so such a task falls back to step 2 instead.
-  std::vector<size_t> locked_attrs;
-  for (size_t l = 0; l < constraints.size(); ++l) {
-    if (shards[0].indices[l] == nullptr || !constraints[l].hard) continue;
-    std::optional<GroupedOrderSpec> spec =
-        constraints[l].dc.AsGroupedOrderSpec();
-    if (!spec.has_value()) continue;
-    AlignTask task;
-    task.dc = l;
-    task.group = spec->group_attrs;
-    task.co_monotone = spec->co_monotone;
-    const size_t x = spec->x_attr;
-    const size_t y = spec->y_attr;
-    const size_t u = activation.dc_unit[l];
-    if (u == SIZE_MAX || model.units()[u].attrs.size() != 1) continue;
-    // The dependent side is the attribute sampled last (the activating
-    // unit's attribute); its values get reassigned, the other side is the
-    // sort context.
-    const size_t a = model.units()[u].attrs[0];
-    if (a == y) {
-      task.dep = y;
-      task.ctx = x;
-    } else if (a == x) {
-      task.dep = x;
-      task.ctx = y;
-    } else {
-      continue;  // the unit samples a group attribute; fall back to step 2
-    }
-    if (std::find(locked_attrs.begin(), locked_attrs.end(), task.dep) !=
-        locked_attrs.end()) {
-      continue;  // would rewrite an earlier task's attribute
-    }
-    locked_attrs.push_back(task.dep);
-    locked_attrs.push_back(task.ctx);
-    locked_attrs.insert(locked_attrs.end(), task.group.begin(),
-                        task.group.end());
-    alignable[l] = true;
-    alignments.push_back(std::move(task));
-  }
+  // Hard order DCs whose reconciliation is step 4's rank alignment; step
+  // 2's repair budget skips their conflicts.
+  std::vector<bool> alignable;
+  const std::vector<AlignTask> alignments = BuildAlignTasks(
+      model, constraints, activation, shards[0].indices, &alignable);
 
   // --- Step 1: deterministic fixed-order merge + conflict detection. ---
   // merged[l] ends up indexing the whole instance for DC l; offenders maps
@@ -1096,38 +1144,388 @@ Status ReconcileShards(const ProbabilisticDataModel& model,
   return Status::OK();
 }
 
-/// Streams the reconciled instance to `hooks->on_chunk` shard by shard:
-/// ascending row offsets, each shard exactly once, tiling [0, n). Each
-/// chunk slices its rows out of `out` as per-column block copies, so the
-/// sink may keep them alive past the call; under
-/// `options.compress_chunks` the slice travels as an encoded per-column
-/// payload instead of materialized rows.
+/// Delivers one shard's slice of `out` to `hooks->on_chunk`. The chunk
+/// slices its rows out as per-column block copies, so the sink may keep
+/// them alive past the call; under `options.compress_chunks` the slice
+/// travels as an encoded per-column payload instead of materialized rows.
+Status EmitOneChunk(const Table& out, size_t shard, size_t offset, size_t rows,
+                    bool last, const KaminoOptions& options,
+                    const SynthesisHooks* hooks) {
+  if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
+  if (!KeepGoing(hooks)) return CancelledStatus();
+  obs::TraceSpan span("sampler/chunk");
+  span.AddArg("shard", static_cast<int64_t>(shard));
+  span.AddArg("row_offset", static_cast<int64_t>(offset));
+  span.AddArg("rows", static_cast<int64_t>(rows));
+  TableChunk chunk;
+  chunk.shard = shard;
+  chunk.row_offset = offset;
+  chunk.last = last;
+  Table slice = out.Slice(offset, rows);
+  if (options.compress_chunks) {
+    chunk.encoded = EncodeChunkColumns(slice);
+    chunk.encoded_rows = slice.num_rows();
+    chunk.rows = Table(out.schema());  // schema-only carrier
+    span.AddArg("encoded_bytes", static_cast<int64_t>(chunk.encoded.size()));
+  } else {
+    chunk.rows = std::move(slice);
+  }
+  return hooks->on_chunk(chunk);
+}
+
+/// Streams the instance shard by shard: ascending row offsets, each shard
+/// exactly once, tiling [0, n). The global path's delivery loop; the
+/// progressive path emits each chunk at its freeze instead.
 Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
                   const std::vector<size_t>& offsets,
                   const KaminoOptions& options, const SynthesisHooks* hooks) {
   if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
   for (size_t s = 0; s < sizes.size(); ++s) {
-    if (!KeepGoing(hooks)) return CancelledStatus();
-    obs::TraceSpan span("sampler/chunk");
-    span.AddArg("shard", static_cast<int64_t>(s));
-    span.AddArg("row_offset", static_cast<int64_t>(offsets[s]));
-    span.AddArg("rows", static_cast<int64_t>(sizes[s]));
-    TableChunk chunk;
-    chunk.shard = s;
-    chunk.row_offset = offsets[s];
-    chunk.last = s + 1 == sizes.size();
-    Table slice = out.Slice(offsets[s], sizes[s]);
-    if (options.compress_chunks) {
-      chunk.encoded = EncodeChunkColumns(slice);
-      chunk.encoded_rows = slice.num_rows();
-      chunk.rows = Table(out.schema());  // schema-only carrier
-      span.AddArg("encoded_bytes", static_cast<int64_t>(chunk.encoded.size()));
-    } else {
-      chunk.rows = std::move(slice);
-    }
-    KAMINO_RETURN_IF_ERROR(hooks->on_chunk(chunk));
+    KAMINO_RETURN_IF_ERROR(EmitOneChunk(out, s, offsets[s], sizes[s],
+                                        s + 1 == sizes.size(), options, hooks));
   }
   return Status::OK();
+}
+
+/// The progressive prefix-frozen merge (`options.progressive_merge`):
+/// shard s is reconciled against the already-frozen prefix [0, s) as soon
+/// as its sampling completes, the grown prefix freezes, and shard s's
+/// chunk is emitted immediately — while later shards are still sampling
+/// on the pool. The first chunk therefore leaves after ~1/num_shards of
+/// the work instead of after the global merge.
+///
+/// Each freeze mirrors the global pass restricted to shard s's rows
+/// (frozen cells are never written):
+///  1. Conflict detection: `CountAgainst` between the running merged
+///     indices (exactly the frozen prefix) and shard s's fresh index.
+///  2. Bounded greedy re-sample repair over the conflicted shard rows,
+///     with a per-freeze adaptive budget and randomness keyed by
+///     (global row, unit) off the same merge stream as the global path.
+///     Conflicts sweep in ascending row order (the soft-penalty ordering
+///     and `merge_soft_penalty_delta` are global-merge-only: measuring
+///     the soft penalty at every freeze would dominate the freezes).
+///  3. Prefix-frozen hard-FD canonicalization: shard rows adopt the
+///     frozen prefix's canonical RHS values, never the reverse.
+///  4. Prefix-frozen rank alignment: shard rows slot into the frozen
+///     monotone relation (envelope clamp) instead of re-ranking the
+///     union. Run whenever the DC actually has violations.
+///  5. Hard FDs win: re-run 3 if 4 touched an FD attribute.
+/// Shard 0's freeze runs 3/4 with an empty prefix — the global semantics
+/// restricted to one shard — so hard DCs are exact after *every* freeze.
+///
+/// Determinism: shard content comes from per-shard sub-seeds, and every
+/// freeze is a pure function of (frozen prefix, shard s, merge_seed)
+/// applied in fixed shard order by this one coordinator thread — so the
+/// output is a pure function of (seed, num_shards), bit-identical at any
+/// num_threads. It generally differs from the global merge's output: the
+/// freeze may only rewrite shard-s rows, never revisit the prefix.
+Result<Table> ProgressiveShardSynthesis(
+    const ProbabilisticDataModel& model,
+    const std::vector<WeightedConstraint>& constraints,
+    const KaminoOptions& options, const ActivationMap& activation,
+    const std::vector<size_t>& sizes, const std::vector<size_t>& offsets,
+    const std::vector<size_t>& mcmc_budgets, const runtime::RngStream& root,
+    uint64_t merge_seed, const SynthesisHooks* hooks,
+    SynthesisTelemetry* telemetry) {
+  const Schema& schema = model.schema();
+  const size_t num_shards = sizes.size();
+  Table out(schema);
+
+  std::vector<ShardState> shards(num_shards);
+  for (ShardState& shard : shards) shard.table = Table(schema);
+
+  auto run_shard = [&](size_t s) -> Status {
+    if (!KeepGoing(hooks)) return CancelledStatus();
+    obs::TraceSpan span("sampler/shard");
+    span.AddArg("shard", static_cast<int64_t>(s));
+    span.AddArg("rows", static_cast<int64_t>(sizes[s]));
+    Rng shard_rng(root.SubSeed(s));
+    return SampleShardRows(model, constraints, activation, sizes[s], options,
+                           mcmc_budgets[s], /*allow_nested_parallel=*/false,
+                           hooks, &shard_rng, &shards[s].telemetry,
+                           &shards[s].table, &shards[s].indices);
+  };
+
+  // Scheduling: shards go onto the pool as independent tasks while this
+  // (coordinator) thread freezes them strictly in ascending order. With a
+  // single-thread budget — or when the caller is itself a pool worker and
+  // must not block on pool tasks — shards run inline between freezes
+  // instead: the same sample -> freeze -> emit order, so the same output
+  // and the same early first chunk, just without sampling/freeze overlap.
+  const bool inline_shards =
+      runtime::GlobalNumThreads() <= 1 || runtime::ThreadPool::InWorkerThread();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<char> done(num_shards, 0);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+  if (!inline_shards) {
+    std::shared_ptr<runtime::ThreadPool> pool = runtime::GlobalThreadPool();
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool->Submit([&, s] {
+        Status st;
+        try {
+          st = run_shard(s);
+        } catch (const std::exception& e) {
+          st = Status::Internal(std::string("shard sampling threw: ") +
+                                e.what());
+        } catch (...) {
+          st = Status::Internal("shard sampling threw a non-std exception");
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        shard_status[s] = std::move(st);
+        done[s] = 1;
+        cv.notify_all();
+      });
+    }
+  }
+
+  // Filled once shard 0 completes (its index vector is the probe for
+  // which DCs built indices this run).
+  std::vector<bool> alignable;
+  std::vector<AlignTask> alignments;
+  std::vector<PrefixFdFamily> families;
+  // merged[l] indexes exactly the frozen prefix, growing at each freeze.
+  std::vector<std::unique_ptr<ViolationIndex>> merged(constraints.size());
+  const runtime::RngStream merge_stream(merge_seed);
+  constexpr size_t kMergeNoGainStreak = 8;
+
+  auto freeze_shard = [&](size_t s, obs::TraceSpan& span) -> Status {
+    const size_t begin = offsets[s];
+    const size_t end = begin + sizes[s];
+    const Table& shard_table = shards[s].table;
+    out.AppendRowsFrom(shard_table, 0, shard_table.num_rows());
+    telemetry->ar_proposals += shards[s].telemetry.ar_proposals;
+    telemetry->fd_fast_path_hits += shards[s].telemetry.fd_fast_path_hits;
+    telemetry->mcmc_resamples += shards[s].telemetry.mcmc_resamples;
+    telemetry->parallel_score_dispatches +=
+        shards[s].telemetry.parallel_score_dispatches;
+    telemetry->mcmc_batches += shards[s].telemetry.mcmc_batches;
+
+    // Conflict detection against the frozen prefix.
+    std::map<size_t, std::vector<size_t>> offenders;
+    int64_t freeze_cross = 0;
+    if (s > 0) {
+      for (size_t l = 0; l < constraints.size(); ++l) {
+        if (merged[l] == nullptr || shards[s].indices[l] == nullptr) continue;
+        const int64_t cross = merged[l]->CountAgainst(*shards[s].indices[l]);
+        if (cross == 0) continue;
+        freeze_cross += cross;
+        telemetry->merge_cross_violations += cross;
+        if (!alignable[l]) {
+          for (size_t r = 0; r < shard_table.num_rows(); ++r) {
+            if (merged[l]->CountNew(shard_table.row(r)) > 0) {
+              offenders[begin + r].push_back(l);
+            }
+          }
+        }
+      }
+    }
+    telemetry->merge_conflict_rows += static_cast<int64_t>(offenders.size());
+
+    // Bounded greedy repair, restricted to shard s's rows. `out` holds
+    // exactly the prefix-plus-shard [0, end), so the full-table penalty
+    // scores each candidate against everything frozen so far.
+    if (!offenders.empty()) {
+      size_t budget = options.adaptive_merge_budget
+                          ? 16 + 2 * offenders.size()
+                          : options.shard_merge_resamples;
+      telemetry->merge_budget += static_cast<int64_t>(budget);
+      size_t no_gain_streak = 0;
+      bool swept_dry = false;
+      for (const auto& [row, dcs] : offenders) {
+        if (budget == 0 || swept_dry) break;
+        std::vector<size_t> units;
+        for (size_t l : dcs) {
+          const size_t u = activation.dc_unit[l];
+          if (u != SIZE_MAX &&
+              std::find(units.begin(), units.end(), u) == units.end()) {
+            units.push_back(u);
+          }
+        }
+        std::sort(units.begin(), units.end());
+        for (size_t u : units) {
+          if (budget == 0) break;
+          const ModelUnit& unit = model.units()[u];
+          const std::vector<size_t>& active = activation.unit_active[u];
+          Rng task_rng(merge_stream.Fork(row).SubSeed(u));
+          Row scratch = out.row(row);
+
+          // Frozen-instance candidate seeding for numeric attributes: the
+          // prefix's established FD value and the order-DC neighbours'
+          // values are often the only feasible points.
+          std::vector<double> extra_values;
+          if (unit.attrs.size() == 1 &&
+              schema.attribute(unit.attrs[0]).is_numeric()) {
+            for (size_t l : active) {
+              std::vector<size_t> lhs;
+              size_t rhs = 0, x = 0, y = 0;
+              if (merged[l] != nullptr && constraints[l].dc.AsFd(&lhs, &rhs) &&
+                  rhs == unit.attrs[0]) {
+                std::optional<Value> forced = merged[l]->FdForcedValue(scratch);
+                if (forced.has_value() && forced->is_numeric()) {
+                  extra_values.push_back(forced->numeric());
+                }
+              } else if (constraints[l].dc.AsOrderPair(&x, &y)) {
+                const size_t other =
+                    y == unit.attrs[0] ? x
+                                       : (x == unit.attrs[0] ? y : SIZE_MAX);
+                if (other != SIZE_MAX && schema.attribute(other).is_numeric()) {
+                  const double x0 = scratch[other].numeric();
+                  std::vector<std::pair<double, size_t>> nearest;
+                  for (size_t j = 0; j < end; ++j) {
+                    if (j == row) continue;
+                    nearest.emplace_back(
+                        std::abs(out.at(j, other).numeric() - x0), j);
+                  }
+                  const size_t keep = std::min<size_t>(4, nearest.size());
+                  std::partial_sort(nearest.begin(), nearest.begin() + keep,
+                                    nearest.end());
+                  for (size_t k = 0; k < keep; ++k) {
+                    extra_values.push_back(
+                        out.at(nearest[k].second, unit.attrs[0]).numeric());
+                  }
+                }
+              }
+            }
+          }
+
+          std::vector<Candidate> candidates = GenerateCandidates(
+              unit, schema, scratch, options, extra_values, &task_rng);
+          if (candidates.empty()) continue;
+          const double penalty_before =
+              FullTablePenalty(out.row(row), row, out, active, constraints);
+          size_t pick = 0;
+          double best = -std::numeric_limits<double>::infinity();
+          double best_penalty = penalty_before;
+          for (size_t c = 0; c < candidates.size(); ++c) {
+            ApplyCandidateToRow(unit, candidates[c], &scratch);
+            const double penalty =
+                FullTablePenalty(scratch, row, out, active, constraints);
+            const double score =
+                std::log(candidates[c].prob + 1e-300) - penalty;
+            if (score > best) {
+              best = score;
+              best_penalty = penalty;
+              pick = c;
+            }
+          }
+          for (size_t a = 0; a < unit.attrs.size(); ++a) {
+            out.set(row, unit.attrs[a], candidates[pick].values[a]);
+          }
+          ++telemetry->merge_resamples;
+          --budget;
+          if (options.adaptive_merge_budget) {
+            if (best_penalty < penalty_before - 1e-12) {
+              no_gain_streak = 0;
+            } else if (++no_gain_streak >= kMergeNoGainStreak) {
+              ++telemetry->merge_early_stops;
+              swept_dry = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Exact hard-DC passes, frozen prefix untouched.
+    std::vector<bool> attr_modified(schema.size(), false);
+    telemetry->merge_fd_rewrites +=
+        PrefixFrozenFdCanonicalize(&out, families, begin, &attr_modified);
+
+    bool realigned_fd_attr = false;
+    for (const AlignTask& task : alignments) {
+      // Count for real every freeze (the composite engines keep this
+      // subquadratic): unlike the global pass there is no cheap
+      // "untouched" skip, because intra-shard residuals must also be
+      // caught before the rows freeze.
+      if (CountViolations(constraints[task.dc].dc, out) == 0) continue;
+      PrefixAlignSpec spec;
+      spec.group_attrs = task.group;
+      spec.ctx_attr = task.ctx;
+      spec.dep_attr = task.dep;
+      spec.co_monotone = task.co_monotone;
+      const int64_t moved = PrefixFrozenRankAlign(&out, spec, begin);
+      telemetry->merge_order_alignments += moved;
+      if (moved == 0) continue;
+      attr_modified[task.dep] = true;
+      for (const PrefixFdFamily& family : families) {
+        if (family.rhs == task.dep) realigned_fd_attr = true;
+        for (const std::vector<size_t>& lhs : family.lhs_sets) {
+          if (std::find(lhs.begin(), lhs.end(), task.dep) != lhs.end()) {
+            realigned_fd_attr = true;
+          }
+        }
+      }
+    }
+    if (realigned_fd_attr) {
+      telemetry->merge_fd_rewrites +=
+          PrefixFrozenFdCanonicalize(&out, families, begin, &attr_modified);
+    }
+
+    // Freeze: index the shard's *final* rows into the running merged
+    // indices (the stale pre-repair shard index is discarded).
+    for (size_t l = 0; l < constraints.size(); ++l) {
+      if (merged[l] == nullptr) continue;
+      for (size_t r = begin; r < end; ++r) merged[l]->AddRow(out.row(r));
+    }
+    ++telemetry->merge_prefix_freezes;
+    telemetry->merge_frozen_rows += static_cast<int64_t>(sizes[s]);
+    span.AddArg("cross_violations", freeze_cross);
+    span.AddArg("conflict_rows", static_cast<int64_t>(offenders.size()));
+
+    // Emit immediately: these rows are frozen and never rewritten.
+    return EmitOneChunk(out, s, begin, sizes[s], s + 1 == num_shards, options,
+                        hooks);
+  };
+
+  Status status = Status::OK();
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!KeepGoing(hooks)) {
+      status = CancelledStatus();
+      break;
+    }
+    if (inline_shards) {
+      status = run_shard(s);
+    } else {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done[s] != 0; });
+      status = shard_status[s];
+    }
+    if (!status.ok()) break;
+    if (s == 0) {
+      alignments = BuildAlignTasks(model, constraints, activation,
+                                   shards[0].indices, &alignable);
+      families = BuildFdFamilies(constraints, shards[0].indices);
+      for (size_t l = 0; l < constraints.size(); ++l) {
+        if (shards[0].indices[l] == nullptr) continue;
+        if (constraints[l].dc.is_unary()) continue;  // no cross pairs
+        merged[l] = MakeViolationIndex(constraints[l].dc);
+      }
+    }
+    obs::TraceSpan span("sampler/prefix_merge");
+    span.AddArg("shard", static_cast<int64_t>(s));
+    span.AddArg("rows", static_cast<int64_t>(sizes[s]));
+    span.AddArg("frozen_rows", static_cast<int64_t>(offsets[s]));
+    status = freeze_shard(s, span);
+    telemetry->merge_seconds += span.Finish();
+    if (!status.ok()) break;
+  }
+
+  if (!inline_shards) {
+    // Drain: shard tasks reference this frame's state, so never return
+    // while one may still run (an error or cancellation above only stops
+    // the freezes; sampling tasks finish on their own, polling
+    // `keep_going` at their internal boundaries).
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      for (char d : done) {
+        if (d == 0) return false;
+      }
+      return true;
+    });
+  }
+  KAMINO_RETURN_IF_ERROR(status);
+  return out;
 }
 
 /// Folds the run's telemetry into the global metrics registry once per
@@ -1150,6 +1548,10 @@ void RecordSamplerMetrics(const SynthesisTelemetry& t, size_t rows) {
   reg.counter("kamino.sampler.merge_conflict_rows")
       ->Increment(t.merge_conflict_rows);
   reg.counter("kamino.sampler.merge_resamples")->Increment(t.merge_resamples);
+  reg.counter("kamino.sampler.merge_prefix_freezes")
+      ->Increment(t.merge_prefix_freezes);
+  reg.counter("kamino.sampler.merge_frozen_rows")
+      ->Increment(t.merge_frozen_rows);
 }
 
 }  // namespace
@@ -1203,6 +1605,18 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
   }
   const runtime::RngStream root(rng->NextSeed());
   const uint64_t merge_seed = root.SubSeed(num_shards);  // distinct stream
+
+  if (options.progressive_merge) {
+    // Same shard plan, same sub-seeds, different merge: reconcile + freeze
+    // + emit each shard as it completes instead of one global pass.
+    KAMINO_ASSIGN_OR_RETURN(
+        Table out, ProgressiveShardSynthesis(model, constraints, options,
+                                             activation, sizes, offsets,
+                                             mcmc_budgets, root, merge_seed,
+                                             hooks, telemetry));
+    RecordSamplerMetrics(*telemetry, n);
+    return out;
+  }
 
   std::vector<ShardState> shards(num_shards);
   for (ShardState& shard : shards) shard.table = Table(schema);

@@ -116,8 +116,23 @@ struct SynthesisTelemetry {
   /// the sampled values, so per-value marginals are unchanged).
   int64_t merge_order_alignments = 0;
   /// Wall-clock seconds of the merge + reconciliation pass (included in
-  /// the sampling phase timing).
+  /// the sampling phase timing). Under `progressive_merge` this is the
+  /// sum of the per-freeze `sampler/prefix_merge` spans.
   double merge_seconds = 0.0;
+  /// Prefix freezes performed by the progressive merge
+  /// (`KaminoOptions::progressive_merge`): one per shard, each ending
+  /// with the frozen prefix hard-DC exact and its chunk emitted. Zero on
+  /// global-merge runs.
+  int64_t merge_prefix_freezes = 0;
+  /// Rows frozen (made immutable and eligible for delivery) by those
+  /// freezes; equals the row count on a completed progressive run.
+  int64_t merge_frozen_rows = 0;
+  /// Seconds from job start (after dequeue — queue wait excluded) to the
+  /// first `TableChunk` handed to the `RowSink`. Filled by the service
+  /// engine, not the sampler; 0 when the run streamed no chunks. Also
+  /// recorded into the `kamino.service.first_chunk_seconds` histogram
+  /// when metrics are enabled.
+  double first_chunk_seconds = 0.0;
 };
 
 /// Algorithm 3: constraint-aware database instance sampling.

@@ -26,7 +26,20 @@ SampleSpec SpecOf(const SynthesisRequest& request) {
   spec.num_shards = request.num_shards;
   spec.num_threads = request.num_threads;
   spec.compress_chunks = request.compress_chunks;
+  spec.progressive_merge = request.progressive_merge;
   return spec;
+}
+
+/// First-chunk latency histogram, recorded per streaming run. Fixed
+/// roughly-logarithmic bounds from 1ms to 10s (first registration wins,
+/// so every engine in the process shares one layout).
+void RecordFirstChunkSeconds(double seconds) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  reg.histogram("kamino.service.first_chunk_seconds",
+                {0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                 5.0, 10.0})
+      ->Record(seconds);
 }
 
 /// Engine-wide job sequence numbers; process-global so two engines in one
@@ -171,17 +184,26 @@ Result<SynthesisResult> KaminoEngine::Synthesize(
   }
   SynthesisHooks hooks;
   RowSink* sink = request.sink;
+  // First-chunk latency is clocked from run start (no queue on the
+  // synchronous path); chunks are delivered serially from this call's
+  // stack, so a plain shared double suffices.
+  const auto start = std::chrono::steady_clock::now();
+  auto first_chunk = std::make_shared<double>(-1.0);
   if (sink != nullptr) {
-    hooks.on_chunk = [sink](const TableChunk& chunk) {
+    hooks.on_chunk = [sink, start, first_chunk](const TableChunk& chunk) {
+      if (*first_chunk < 0.0) *first_chunk = SecondsSince(start);
       return sink->OnChunk(chunk);
     };
   }
   SynthesisResult result;
-  const auto start = std::chrono::steady_clock::now();
   KAMINO_ASSIGN_OR_RETURN(
       Table out, SamplePipeline(model.artifacts(), SpecOf(request), &hooks,
                                 &result.telemetry));
   result.sampling_seconds = SecondsSince(start);
+  if (*first_chunk >= 0.0) {
+    result.telemetry.first_chunk_seconds = *first_chunk;
+    RecordFirstChunkSeconds(*first_chunk);
+  }
   if (request.collect_table) result.synthetic = std::move(out);
   return result;
 }
@@ -218,6 +240,11 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
     }
     shared->phase.store(Phase::kSampling, std::memory_order_relaxed);
 
+    // The job clock starts here — after dequeue — so first-chunk latency
+    // measures sampling + merge, not queue wait.
+    const auto start = std::chrono::steady_clock::now();
+    auto first_chunk = std::make_shared<double>(-1.0);
+
     SynthesisHooks hooks;
     hooks.keep_going = [token] { return !token.cancel_requested(); };
     hooks.on_rows_sampled = [shared](size_t rows) {
@@ -232,7 +259,9 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
     };
     RowSink* sink = request.sink;
     if (sink != nullptr) {
-      hooks.on_chunk = [shared, sink](const TableChunk& chunk) {
+      hooks.on_chunk = [shared, sink, start,
+                        first_chunk](const TableChunk& chunk) {
+        if (*first_chunk < 0.0) *first_chunk = SecondsSince(start);
         shared->phase.store(SynthesisJob::Phase::kDelivering,
                             std::memory_order_relaxed);
         KAMINO_RETURN_IF_ERROR(sink->OnChunk(chunk));
@@ -249,11 +278,16 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
     }
 
     SynthesisTelemetry telemetry;
-    const auto start = std::chrono::steady_clock::now();
     Result<Table> out =
         SamplePipeline(model.artifacts(), SpecOf(request), &hooks,
                        &telemetry);
     const double seconds = SecondsSince(start);
+    if (*first_chunk >= 0.0) {
+      telemetry.first_chunk_seconds = *first_chunk;
+      RecordFirstChunkSeconds(*first_chunk);
+      job_span.AddArg("first_chunk_ms",
+                      static_cast<int64_t>(*first_chunk * 1000.0));
+    }
 
     std::lock_guard<std::mutex> lock(shared->mu);
     if (!out.ok()) {

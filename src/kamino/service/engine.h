@@ -126,6 +126,13 @@ class FittedModel {
 /// returns only after the last `OnChunk` call has returned. `OnChunk` is
 /// called serially (never two calls in flight) from the job's runner
 /// thread, not from the submitting thread. The sink must outlive the job.
+///
+/// The contract holds in both merge modes. Under the default global
+/// merge, chunks arrive back to back after all shards have sampled and
+/// reconciled; under `progressive_merge`, chunk s arrives as soon as
+/// shards [0, s] have frozen — typically while later shards are still
+/// sampling — which is what makes time-to-first-chunk ~ 1/num_shards of
+/// the job instead of ~ all of it.
 class RowSink {
  public:
   virtual ~RowSink() = default;
@@ -163,6 +170,13 @@ struct SynthesisRequest {
   /// materialized rows. The delivered rows are unchanged — only their
   /// wire form is. Ignored without a sink.
   bool compress_chunks = false;
+  /// Stream through the progressive prefix-frozen merge: each shard is
+  /// reconciled against the frozen prefix and its chunk delivered as soon
+  /// as it finishes sampling (see `KaminoOptions::progressive_merge` for
+  /// the determinism + prefix-immutability contract). Changes the merge,
+  /// so the synthesized rows differ from the global-merge output for the
+  /// same seed; either mode satisfies the same hard-DC guarantees.
+  bool progressive_merge = false;
   /// When false, the result's `synthetic` table is left empty — rows are
   /// observable through `sink` only. Saves the final copy for consumers
   /// that forward chunks elsewhere anyway.

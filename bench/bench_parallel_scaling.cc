@@ -456,6 +456,7 @@ int Main() {
   // the streaming time-to-first-chunk on a 4-shard job — the latency a
   // row consumer sees before the job itself completes.
   bool service_deterministic = true;
+  bool ooc_resident_bounded = true;
   {
     KaminoEngine engine;
     KaminoConfig config = BenchKaminoConfig(1.0, kSeed);
@@ -534,6 +535,62 @@ int Main() {
                     stream_rows, first, total);
       }
     }
+
+    // Out-of-core streaming: the in-memory progressive merge vs the
+    // spill-backed one at 4 shards across request sizes. Rows are
+    // bit-identical by contract (asserted in OutOfCoreTest); what this
+    // sweep measures is the memory/latency trade — the resident-row
+    // high-water mark collapsing from n to ~2 shard widths, the bytes
+    // the spill store absorbs instead, and what the spill costs in
+    // first-chunk / job-total seconds.
+    std::printf("\n%-28s %8s %12s %12s %10s %12s\n", "method", "rows",
+                "first_chunk", "job_total", "peak_rows", "spill_bytes");
+    for (size_t stream_rows : {size_t{600}, size_t{2400}, size_t{9600}}) {
+      for (bool out_of_core : {false, true}) {
+        CountingSink sink;
+        SynthesisRequest streaming;
+        streaming.seed = 7;
+        streaming.num_rows = stream_rows;
+        streaming.num_shards = 4;
+        streaming.progressive_merge = true;
+        streaming.out_of_core = out_of_core;
+        streaming.sink = &sink;
+        streaming.collect_table = false;
+        auto job = engine.Submit(model.value(), streaming);
+        auto job_result = job->Wait();
+        KAMINO_CHECK(job_result.ok()) << job_result.status();
+        KAMINO_CHECK(sink.chunks == 4u) << "out-of-core run lost chunks";
+        const SynthesisTelemetry& tel = job_result.value().telemetry;
+        const double first = tel.first_chunk_seconds;
+        const double total = job_result.value().sampling_seconds;
+        const char* tag = out_of_core ? "ooc" : "inmem";
+        records.push_back({std::string(tag) + "_first_chunk_shards4",
+                           stream_rows, 1, first});
+        records.push_back({std::string(tag) + "_job_total_shards4",
+                           stream_rows, 1, total});
+        records.push_back({std::string(tag) + "_peak_resident_rows",
+                           stream_rows, 1,
+                           static_cast<double>(tel.peak_resident_rows)});
+        records.push_back({std::string(tag) + "_spill_bytes", stream_rows, 1,
+                           static_cast<double>(tel.spill_bytes)});
+        if (out_of_core) {
+          // The acceptance bound: at 4 shards the spill-backed run's
+          // residency must stay within 2 shard widths at every size.
+          const int64_t shard_width =
+              static_cast<int64_t>((stream_rows + 3) / 4);
+          if (tel.peak_resident_rows > 2 * shard_width) {
+            ooc_resident_bounded = false;
+          }
+        }
+        std::printf("%-28s %8zu %12.4f %12.4f %10lld %12lld\n",
+                    out_of_core ? "stream_out_of_core" : "stream_in_memory",
+                    stream_rows, first, total,
+                    static_cast<long long>(tel.peak_resident_rows),
+                    static_cast<long long>(tel.spill_bytes));
+      }
+    }
+    std::printf("\nout-of-core peak residency <= 2 shard widths: %s\n",
+                ooc_resident_bounded ? "OK" : "EXCEEDED");
 
     // Model artifact serde: the cost of checkpointing a fit to its wire
     // form and rehydrating it (what a load-by-id worker pays per cold
@@ -621,7 +678,8 @@ int Main() {
   WriteBenchJson("BENCH_parallel.json", records);
   return deterministic && shards_deterministic && order_counts_agree &&
                  mixed_counts_agree && columnar_agree &&
-                 service_deterministic && obs_output_identical
+                 service_deterministic && obs_output_identical &&
+                 ooc_resident_bounded
              ? 0
              : 1;
 }

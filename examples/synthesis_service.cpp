@@ -241,6 +241,52 @@ int main(int argc, char** argv) {
                 static_cast<long long>(telemetry.merge_frozen_rows));
   }
 
+  // --- Out-of-core streaming: frozen slices spill to disk at each
+  // freeze and their in-memory columns are dropped, bounding resident
+  // rows to ~2 shard widths while the delivered rows stay bit-identical
+  // to the in-memory progressive run (same seed, same shard count). ---
+  kamino::SynthesisRequest in_memory_ref;
+  in_memory_ref.seed = 23;
+  in_memory_ref.num_shards = 4;
+  in_memory_ref.progressive_merge = true;
+  auto in_memory_out = engine.Synthesize(model.value(), in_memory_ref);
+  kamino::SynthesisRequest out_of_core;
+  out_of_core.seed = 23;
+  out_of_core.num_shards = 4;
+  out_of_core.out_of_core = true;  // implies progressive_merge
+  std::printf("  out-of-core streaming job (4 shards):\n");
+  auto ooc_out = engine.Synthesize(model.value(), out_of_core);
+  if (!in_memory_out.ok() || !ooc_out.ok()) {
+    std::fprintf(stderr, "out-of-core synthesis failed\n");
+    return 1;
+  }
+  {
+    const kamino::Table& mem_rows = in_memory_out.value().synthetic;
+    const kamino::Table& ooc_rows = ooc_out.value().synthetic;
+    bool identical = mem_rows.num_rows() == ooc_rows.num_rows();
+    for (size_t r = 0; identical && r < mem_rows.num_rows(); ++r) {
+      for (size_t c = 0; c < mem_rows.num_columns(); ++c) {
+        if (!(mem_rows.at(r, c) == ooc_rows.at(r, c))) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    const auto& telemetry = ooc_out.value().telemetry;
+    const long long peak = telemetry.peak_resident_rows;
+    const long long shard_width =
+        static_cast<long long>((mem_rows.num_rows() + 3) / 4);
+    const bool bounded = peak > 0 && peak <= 2 * shard_width;
+    std::printf(
+        "    spilled %lld rows in %lld blocks (%lld bytes), "
+        "peak_resident_rows=%lld (bound 2x%lld), out_of_core=%s\n",
+        static_cast<long long>(telemetry.spilled_rows),
+        static_cast<long long>(telemetry.spill_blocks),
+        static_cast<long long>(telemetry.spill_bytes), peak, shard_width,
+        identical && bounded ? "OK" : "MISMATCH");
+    if (!identical || !bounded) return 1;
+  }
+
   // --- Compressed streaming: same rows, encoded per-column payloads. ---
   // The sink decodes every chunk and re-assembles the instance; a second
   // collect_table run with the same seed verifies the round trip.

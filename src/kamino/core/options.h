@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "kamino/common/status.h"
 
@@ -164,6 +165,19 @@ struct KaminoOptions {
   /// num_shards <= 1, which keeps the paper-semantics sequential sampler
   /// (golden digest) regardless of this flag. Off by default.
   bool progressive_merge = false;
+  /// Spill each frozen slice to disk (`src/kamino/store/`) at its freeze
+  /// and drop the in-memory columns, keeping only the live shards, the
+  /// merged violation-index state, and the persisted frozen FD/envelope
+  /// lookups — turning "n rows" from a RAM limit into a disk limit.
+  /// Implies `progressive_merge`; like it, synthesized rows are a pure
+  /// function of (seed, num_shards): a run with this flag on is
+  /// bit-identical to the in-memory progressive run at any num_threads.
+  /// No effect at num_shards <= 1 (golden digest unchanged). Off by
+  /// default.
+  bool out_of_core = false;
+  /// Parent directory for the out-of-core spill store's private
+  /// `mkdtemp` directory. Empty (the default) means $TMPDIR, else /tmp.
+  std::string spill_dir;
 
   // --- Model registry (src/kamino/service/engine.h) ---
   /// Capacity of the engine's LRU registry of hot fitted models

@@ -149,6 +149,10 @@ Result<Table> SamplePipeline(const FitArtifacts& fitted,
   }
   if (spec.compress_chunks) options.compress_chunks = true;
   if (spec.progressive_merge) options.progressive_merge = true;
+  if (spec.out_of_core) {
+    options.out_of_core = true;
+    options.progressive_merge = true;
+  }
   ApplyObservabilityOptions(options);
   const size_t n = spec.num_rows == 0 ? fitted.input_rows : spec.num_rows;
 

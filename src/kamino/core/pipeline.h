@@ -91,6 +91,10 @@ struct SampleSpec {
   /// reconciled against the frozen prefix and its chunk emitted as soon
   /// as it finishes sampling (see `KaminoOptions::progressive_merge`).
   bool progressive_merge = false;
+  /// Spill each frozen slice to disk and drop its in-memory columns (see
+  /// `KaminoOptions::out_of_core`). Implies `progressive_merge`;
+  /// bit-identical rows, bounded resident memory.
+  bool out_of_core = false;
 
   static constexpr size_t kUnset = static_cast<size_t>(-1);
 };

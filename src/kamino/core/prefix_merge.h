@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "kamino/data/table.h"
@@ -94,6 +95,94 @@ struct PrefixAlignSpec {
 /// Returns the number of cells rewritten.
 int64_t PrefixFrozenRankAlign(Table* table, const PrefixAlignSpec& spec,
                               size_t frozen_end);
+
+/// Strict weak order over value vectors (group / FD keys), shared by the
+/// prefix-frozen passes and the persistent lookup state below.
+struct PrefixKeyLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+};
+
+/// Persistent form of the frozen FD lookups that
+/// `PrefixFrozenFdCanonicalize` rebuilds from the prefix rows on every
+/// call. Out-of-core synthesis drops frozen columns from memory, so the
+/// lookups are absorbed incrementally at each freeze instead — after
+/// which no frozen row is ever read again for FD reconciliation.
+///
+/// `Absorb` must be called once per frozen slice, in ascending global row
+/// order; `Canonicalize` then brings a live (suffix) table into agreement
+/// with everything absorbed so far, bit-identically to
+/// `PrefixFrozenFdCanonicalize` run over the concatenated table. The
+/// representative's LHS attribute values needed for bridge re-pointing
+/// are captured at absorb time (frozen rows are immutable by contract).
+class FrozenFdLookups {
+ public:
+  explicit FrozenFdLookups(std::vector<PrefixFdFamily> families);
+
+  /// Folds the rows of a newly frozen slice (global rows
+  /// [global_begin, global_begin + slice.num_rows())) into the lookups.
+  void Absorb(const Table& slice, size_t global_begin);
+
+  /// Canonicalizes all rows of `live` against the absorbed prefix.
+  /// Returns cells rewritten; flags touched attributes in `attr_modified`
+  /// (schema-width vector, may be null). Never reads a frozen row.
+  int64_t Canonicalize(Table* live, std::vector<bool>* attr_modified) const;
+
+  const std::vector<PrefixFdFamily>& families() const { return families_; }
+
+ private:
+  struct FrozenEntry {
+    Value canonical;       // the key's frozen RHS value (first row wins)
+    size_t rep_row = 0;    // smallest global frozen row holding the key
+  };
+  using KeyMap = std::map<std::vector<Value>, FrozenEntry, PrefixKeyLess>;
+
+  std::vector<PrefixFdFamily> families_;
+  /// keys_[f][d]: lookup for family f's FD d.
+  std::vector<std::vector<KeyMap>> keys_;
+  /// lhs_union_[f]: sorted distinct LHS attributes across family f's FDs.
+  std::vector<std::vector<size_t>> lhs_union_;
+  /// lhs_pos_[f][d][k]: index of lhs_sets[d][k] within lhs_union_[f].
+  std::vector<std::vector<std::vector<size_t>>> lhs_pos_;
+  /// rep_values_[f]: global row -> captured values of lhs_union_[f], for
+  /// every frozen row that first-inserted a key (the only best_rep
+  /// candidates).
+  std::vector<std::map<size_t, std::vector<Value>>> rep_values_;
+};
+
+/// Persistent form of the frozen order envelopes `PrefixFrozenRankAlign`
+/// rebuilds by sorting the prefix rows on every call. Per group key the
+/// state keeps the distinct frozen context values with their oriented
+/// dependent extrema, from which the running envelope (greatest dependent
+/// strictly below a context, least strictly above) is answered without
+/// touching a frozen row. `Absorb` per frozen slice in ascending global
+/// row order; `Align` then equals `PrefixFrozenRankAlign` over the
+/// concatenated table, restricted to the live rows.
+class FrozenAlignLookups {
+ public:
+  explicit FrozenAlignLookups(PrefixAlignSpec spec);
+
+  /// Folds a newly frozen slice's (context, dependent) pairs in.
+  void Absorb(const Table& slice);
+
+  /// Rank-aligns `live`'s rows among themselves and clamps them into the
+  /// absorbed frozen envelope. Returns cells rewritten.
+  int64_t Align(Table* live) const;
+
+  const PrefixAlignSpec& spec() const { return spec_; }
+
+ private:
+  struct Envelope {
+    std::vector<Value> ctx;   // distinct frozen contexts, ascending
+    std::vector<Value> mx;    // per-context oriented max dependent
+    std::vector<Value> mn;    // per-context oriented min dependent
+    std::vector<Value> pmax;  // running prefix max of mx
+    std::vector<Value> smin;  // running suffix min of mn
+  };
+
+  PrefixAlignSpec spec_;
+  std::map<std::vector<Value>, Envelope, PrefixKeyLess> groups_;
+};
 
 }  // namespace kamino
 

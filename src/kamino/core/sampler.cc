@@ -21,6 +21,7 @@
 #include "kamino/runtime/parallel_for.h"
 #include "kamino/runtime/rng_stream.h"
 #include "kamino/runtime/thread_pool.h"
+#include "kamino/store/spill_store.h"
 
 namespace kamino {
 namespace {
@@ -202,6 +203,46 @@ double FullTablePenalty(const Row& row, size_t self, const Table& table,
       for (size_t j = 0; j < table.num_rows(); ++j) {
         if (j == self) continue;
         if (dc.ViolatesPairAt(row, table, j)) ++vio;
+      }
+    }
+    if (vio > 0) {
+      penalty += constraints[dc_index].EffectiveWeight() *
+                 static_cast<double>(vio);
+    }
+  }
+  return penalty;
+}
+
+/// Freeze-repair penalty under progressive merge: index delta against the
+/// merged indices (which hold exactly the frozen prefix) plus a pair scan
+/// restricted to the live shard's rows. Equals `FullTablePenalty` over the
+/// concatenated prefix+shard table — `CountNew` is an exact count for
+/// every index class — without reading a single frozen row; the
+/// live/frozen scan counters let tests assert that. (Every non-unary DC
+/// reachable from the repair has a merged index: they are built for
+/// exactly the DCs the shards indexed, and repair only triggers on index
+/// conflicts.)
+double FrozenRestrictedPenalty(
+    const Row& row, size_t self, const Table& live,
+    const std::vector<size_t>& active,
+    const std::vector<WeightedConstraint>& constraints,
+    const std::vector<std::unique_ptr<ViolationIndex>>& merged,
+    SynthesisTelemetry* telemetry) {
+  double penalty = 0.0;
+  for (size_t dc_index : active) {
+    const DenialConstraint& dc = constraints[dc_index].dc;
+    int64_t vio = 0;
+    if (dc.is_unary()) {
+      vio = dc.ViolatesUnary(row) ? 1 : 0;
+    } else {
+      if (merged[dc_index] != nullptr) vio = merged[dc_index]->CountNew(row);
+      for (size_t j = 0; j < live.num_rows(); ++j) {
+        if (j == self) continue;
+        if (dc.ViolatesPairAt(row, live, j)) ++vio;
+      }
+      if (live.num_rows() > 0) {
+        telemetry->merge_penalty_live_row_scans +=
+            static_cast<int64_t>(live.num_rows() - 1);
       }
     }
     if (vio > 0) {
@@ -1187,6 +1228,140 @@ Status EmitChunks(const Table& out, const std::vector<size_t>& sizes,
   return Status::OK();
 }
 
+/// Frozen-slice chunk delivery for the out-of-core path: the slice is
+/// already materialized (it *is* the chunk — no slicing a big table) and,
+/// under `compress_chunks`, already encoded for the spill store, so the
+/// same payload passes straight through to the sink instead of being
+/// re-encoded or re-read from disk.
+Status EmitOneChunk(Table slice, std::vector<uint8_t> encoded, size_t shard,
+                    size_t offset, bool last, const KaminoOptions& options,
+                    const SynthesisHooks* hooks) {
+  if (hooks == nullptr || !hooks->on_chunk) return Status::OK();
+  if (!KeepGoing(hooks)) return CancelledStatus();
+  obs::TraceSpan span("sampler/chunk");
+  span.AddArg("shard", static_cast<int64_t>(shard));
+  span.AddArg("row_offset", static_cast<int64_t>(offset));
+  span.AddArg("rows", static_cast<int64_t>(slice.num_rows()));
+  TableChunk chunk;
+  chunk.shard = shard;
+  chunk.row_offset = offset;
+  chunk.last = last;
+  if (options.compress_chunks) {
+    chunk.encoded = std::move(encoded);
+    chunk.encoded_rows = slice.num_rows();
+    chunk.rows = Table(slice.schema());  // schema-only carrier
+    span.AddArg("encoded_bytes", static_cast<int64_t>(chunk.encoded.size()));
+  } else {
+    chunk.rows = std::move(slice);
+  }
+  return hooks->on_chunk(chunk);
+}
+
+/// Frozen-side source for the freeze repair's order-DC nearest-neighbour
+/// candidate seeding. Per order-pair constraint it keeps one
+/// (context value, unit value, global row) triple per frozen row, sorted
+/// by (value, row); `SeedNearest` merges the frozen candidates with a
+/// scan of the live rows, reproducing a partial_sort over the whole
+/// prefix-plus-shard range — nearest `keep` by (|value - x0|, global
+/// row), ascending — without re-reading a frozen row. The values are
+/// captured at freeze time; frozen rows are immutable, so the copies
+/// never go stale.
+struct FrozenNeighborStore {
+  struct Entry {
+    double other = 0.0;  // the scanned (non-unit) attribute's value
+    double unit = 0.0;   // the repaired unit attribute's value
+    size_t row = 0;      // global row, the distance tie-break
+  };
+
+  FrozenNeighborStore(size_t other_attr, size_t unit_attr)
+      : other_attr(other_attr), unit_attr(unit_attr) {}
+
+  void Absorb(const Table& slice, size_t global_begin) {
+    const size_t n = slice.num_rows();
+    entries.reserve(entries.size() + n);
+    for (size_t r = 0; r < n; ++r) {
+      entries.push_back(Entry{slice.at(r, other_attr).numeric(),
+                              slice.at(r, unit_attr).numeric(),
+                              global_begin + r});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.other != b.other) return a.other < b.other;
+                return a.row < b.row;
+              });
+  }
+
+  /// Appends the unit values of the `keep` nearest rows to `x0` — over
+  /// frozen and live rows jointly, excluding live row `self` — in
+  /// (distance, global row) order.
+  void SeedNearest(double x0, size_t keep, size_t global_begin, size_t self,
+                   const Table& live, std::vector<double>* out_values) const {
+    struct Cand {
+      double dist = 0.0;
+      size_t row = 0;
+      double unit = 0.0;
+    };
+    std::vector<Cand> cands;
+    // Frozen side: walk equal-value runs outward from x0. Successive runs
+    // on one side have strictly increasing distance, so once a side has
+    // contributed `keep` candidates no farther run can reach the top-k;
+    // within a run (equal distance) the smallest `keep` rows suffice.
+    const auto mid = std::lower_bound(
+        entries.begin(), entries.end(), x0,
+        [](const Entry& e, double v) { return e.other < v; });
+    size_t taken = 0;
+    for (auto it = mid; it != entries.end() && taken < keep;) {
+      auto run_end = it;
+      size_t in_run = 0;
+      while (run_end != entries.end() && run_end->other == it->other) {
+        if (in_run < keep) {
+          cands.push_back(Cand{std::abs(run_end->other - x0), run_end->row,
+                               run_end->unit});
+          ++in_run;
+        }
+        ++run_end;
+      }
+      taken += in_run;
+      it = run_end;
+    }
+    taken = 0;
+    for (auto it = mid; it != entries.begin() && taken < keep;) {
+      auto run_last = std::prev(it);
+      auto run_first = run_last;
+      while (run_first != entries.begin() &&
+             std::prev(run_first)->other == run_last->other) {
+        --run_first;
+      }
+      size_t in_run = 0;
+      for (auto e = run_first; in_run < keep; ++e) {
+        cands.push_back(Cand{std::abs(e->other - x0), e->row, e->unit});
+        ++in_run;
+        if (e == run_last) break;
+      }
+      taken += in_run;
+      it = run_first;
+    }
+    // Live side: every row is a candidate, read directly (their values
+    // can still change under repair).
+    for (size_t j = 0; j < live.num_rows(); ++j) {
+      if (j == self) continue;
+      cands.push_back(Cand{
+          std::abs(live.at(j, other_attr).numeric() - x0), global_begin + j,
+          live.at(j, unit_attr).numeric()});
+    }
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.row < b.row;
+    });
+    const size_t take = std::min(keep, cands.size());
+    for (size_t k = 0; k < take; ++k) out_values->push_back(cands[k].unit);
+  }
+
+  size_t other_attr = 0;
+  size_t unit_attr = 0;
+  std::vector<Entry> entries;
+};
+
 /// The progressive prefix-frozen merge (`options.progressive_merge`):
 /// shard s is reconciled against the already-frozen prefix [0, s) as soon
 /// as its sampling completes, the grown prefix freezes, and shard s's
@@ -1231,6 +1406,17 @@ Result<Table> ProgressiveShardSynthesis(
   const size_t num_shards = sizes.size();
   Table out(schema);
 
+  // Out-of-core: frozen slices leave memory for the spill store at their
+  // freeze. The store lives on this stack frame, so its destructor —
+  // which unlinks the spill file and temp dir — runs on every exit path:
+  // completion, error, cancellation, and engine teardown (the drain
+  // below unwinds through here).
+  const bool out_of_core = options.out_of_core;
+  std::unique_ptr<store::SpillStore> spill;
+  if (out_of_core) {
+    KAMINO_ASSIGN_OR_RETURN(spill, store::SpillStore::Create(options.spill_dir));
+  }
+
   std::vector<ShardState> shards(num_shards);
   for (ShardState& shard : shards) shard.table = Table(schema);
 
@@ -1258,25 +1444,35 @@ Result<Table> ProgressiveShardSynthesis(
   std::condition_variable cv;
   std::vector<char> done(num_shards, 0);
   std::vector<Status> shard_status(num_shards, Status::OK());
+  std::shared_ptr<runtime::ThreadPool> pool;
+  size_t dispatched = 0;
+  auto dispatch_shard = [&](size_t s) {
+    pool->Submit([&, s] {
+      Status st;
+      try {
+        st = run_shard(s);
+      } catch (const std::exception& e) {
+        st = Status::Internal(std::string("shard sampling threw: ") +
+                              e.what());
+      } catch (...) {
+        st = Status::Internal("shard sampling threw a non-std exception");
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      shard_status[s] = std::move(st);
+      done[s] = 1;
+      cv.notify_all();
+    });
+  };
   if (!inline_shards) {
-    std::shared_ptr<runtime::ThreadPool> pool = runtime::GlobalThreadPool();
-    for (size_t s = 0; s < num_shards; ++s) {
-      pool->Submit([&, s] {
-        Status st;
-        try {
-          st = run_shard(s);
-        } catch (const std::exception& e) {
-          st = Status::Internal(std::string("shard sampling threw: ") +
-                                e.what());
-        } catch (...) {
-          st = Status::Internal("shard sampling threw a non-std exception");
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        shard_status[s] = std::move(st);
-        done[s] = 1;
-        cv.notify_all();
-      });
-    }
+    pool = runtime::GlobalThreadPool();
+    // In-memory runs dispatch everything up front for maximum overlap.
+    // Out-of-core runs window the dispatch to two shards — the one being
+    // frozen plus the one sampling behind it — and release the next only
+    // after a freeze retires its slice to disk; that, not the spill, is
+    // what bounds peak residency to ~2 shard widths.
+    const size_t window =
+        out_of_core ? std::min<size_t>(2, num_shards) : num_shards;
+    for (; dispatched < window; ++dispatched) dispatch_shard(dispatched);
   }
 
   // Filled once shard 0 completes (its index vector is the probe for
@@ -1286,14 +1482,46 @@ Result<Table> ProgressiveShardSynthesis(
   std::vector<PrefixFdFamily> families;
   // merged[l] indexes exactly the frozen prefix, growing at each freeze.
   std::vector<std::unique_ptr<ViolationIndex>> merged(constraints.size());
+  // Persistent frozen-prefix lookups: everything a freeze needs from the
+  // rows frozen before it, absorbed slice by slice so no frozen row is
+  // ever re-read for reconciliation (the out-of-core contract; in-memory
+  // progressive runs share the exact same code path).
+  std::unique_ptr<FrozenFdLookups> fd_lookups;
+  std::vector<FrozenAlignLookups> align_lookups;
+  std::vector<std::unique_ptr<FrozenNeighborStore>> neighbors(
+      constraints.size());
+  // Running count of violating pairs wholly inside the frozen prefix,
+  // per alignment DC — the frozen-side term of the align-pass gate.
+  std::vector<int64_t> frozen_violations(constraints.size(), 0);
+  std::vector<char> is_align_dc(constraints.size(), 0);
   const runtime::RngStream merge_stream(merge_seed);
   constexpr size_t kMergeNoGainStreak = 8;
 
+  // Resident-row high-water mark, computed analytically (never by reading
+  // a table a pool worker may be filling): the slice being frozen + the
+  // accumulated in-memory output + every dispatched-but-unfrozen shard at
+  // its full width.
+  int64_t peak_resident = 0;
+  auto note_resident = [&](size_t s, size_t live_rows) {
+    int64_t resident =
+        static_cast<int64_t>(live_rows) + static_cast<int64_t>(out.num_rows());
+    const size_t hi = inline_shards ? s + 1 : dispatched;
+    for (size_t j = s + 1; j < hi; ++j) {
+      resident += static_cast<int64_t>(sizes[j]);
+    }
+    peak_resident = std::max(peak_resident, resident);
+  };
+
   auto freeze_shard = [&](size_t s, obs::TraceSpan& span) -> Status {
     const size_t begin = offsets[s];
-    const size_t end = begin + sizes[s];
-    const Table& shard_table = shards[s].table;
-    out.AppendRowsFrom(shard_table, 0, shard_table.num_rows());
+    // The freeze works on the shard's own table ("live"): local row r is
+    // global row begin + r. The frozen prefix is consulted only through
+    // the merged indices and the persistent lookups above — never by
+    // reading prefix rows — which is what lets the out-of-core path drop
+    // them from memory without changing a single sampled bit.
+    Table live = std::move(shards[s].table);
+    shards[s].table = Table(schema);
+    note_resident(s, live.num_rows());
     telemetry->ar_proposals += shards[s].telemetry.ar_proposals;
     telemetry->fd_fast_path_hits += shards[s].telemetry.fd_fast_path_hits;
     telemetry->mcmc_resamples += shards[s].telemetry.mcmc_resamples;
@@ -1312,8 +1540,8 @@ Result<Table> ProgressiveShardSynthesis(
         freeze_cross += cross;
         telemetry->merge_cross_violations += cross;
         if (!alignable[l]) {
-          for (size_t r = 0; r < shard_table.num_rows(); ++r) {
-            if (merged[l]->CountNew(shard_table.row(r)) > 0) {
+          for (size_t r = 0; r < live.num_rows(); ++r) {
+            if (merged[l]->CountNew(live.row(r)) > 0) {
               offenders[begin + r].push_back(l);
             }
           }
@@ -1322,9 +1550,11 @@ Result<Table> ProgressiveShardSynthesis(
     }
     telemetry->merge_conflict_rows += static_cast<int64_t>(offenders.size());
 
-    // Bounded greedy repair, restricted to shard s's rows. `out` holds
-    // exactly the prefix-plus-shard [0, end), so the full-table penalty
-    // scores each candidate against everything frozen so far.
+    // Bounded greedy repair, restricted to shard s's rows. Candidates are
+    // scored by the frozen-restricted penalty kernel: index delta against
+    // the merged indices (exactly the frozen prefix) plus a pair scan of
+    // the live rows only — equal to the full-table penalty over [0, end)
+    // without touching a frozen row.
     if (!offenders.empty()) {
       size_t budget = options.adaptive_merge_budget
                           ? 16 + 2 * offenders.size()
@@ -1347,8 +1577,11 @@ Result<Table> ProgressiveShardSynthesis(
           if (budget == 0) break;
           const ModelUnit& unit = model.units()[u];
           const std::vector<size_t>& active = activation.unit_active[u];
+          // RNG keying stays on the GLOBAL row: identical draws whether
+          // the repair runs over `out` (old layout) or `live` (this one).
           Rng task_rng(merge_stream.Fork(row).SubSeed(u));
-          Row scratch = out.row(row);
+          const size_t local = row - begin;
+          Row scratch = live.row(local);
 
           // Frozen-instance candidate seeding for numeric attributes: the
           // prefix's established FD value and the order-DC neighbours'
@@ -1369,21 +1602,11 @@ Result<Table> ProgressiveShardSynthesis(
                 const size_t other =
                     y == unit.attrs[0] ? x
                                        : (x == unit.attrs[0] ? y : SIZE_MAX);
-                if (other != SIZE_MAX && schema.attribute(other).is_numeric()) {
+                if (other != SIZE_MAX && schema.attribute(other).is_numeric() &&
+                    neighbors[l] != nullptr) {
                   const double x0 = scratch[other].numeric();
-                  std::vector<std::pair<double, size_t>> nearest;
-                  for (size_t j = 0; j < end; ++j) {
-                    if (j == row) continue;
-                    nearest.emplace_back(
-                        std::abs(out.at(j, other).numeric() - x0), j);
-                  }
-                  const size_t keep = std::min<size_t>(4, nearest.size());
-                  std::partial_sort(nearest.begin(), nearest.begin() + keep,
-                                    nearest.end());
-                  for (size_t k = 0; k < keep; ++k) {
-                    extra_values.push_back(
-                        out.at(nearest[k].second, unit.attrs[0]).numeric());
-                  }
+                  neighbors[l]->SeedNearest(x0, /*keep=*/4, begin, local, live,
+                                            &extra_values);
                 }
               }
             }
@@ -1392,15 +1615,16 @@ Result<Table> ProgressiveShardSynthesis(
           std::vector<Candidate> candidates = GenerateCandidates(
               unit, schema, scratch, options, extra_values, &task_rng);
           if (candidates.empty()) continue;
-          const double penalty_before =
-              FullTablePenalty(out.row(row), row, out, active, constraints);
+          const double penalty_before = FrozenRestrictedPenalty(
+              live.row(local), local, live, active, constraints, merged,
+              telemetry);
           size_t pick = 0;
           double best = -std::numeric_limits<double>::infinity();
           double best_penalty = penalty_before;
           for (size_t c = 0; c < candidates.size(); ++c) {
             ApplyCandidateToRow(unit, candidates[c], &scratch);
-            const double penalty =
-                FullTablePenalty(scratch, row, out, active, constraints);
+            const double penalty = FrozenRestrictedPenalty(
+                scratch, local, live, active, constraints, merged, telemetry);
             const double score =
                 std::log(candidates[c].prob + 1e-300) - penalty;
             if (score > best) {
@@ -1410,7 +1634,7 @@ Result<Table> ProgressiveShardSynthesis(
             }
           }
           for (size_t a = 0; a < unit.attrs.size(); ++a) {
-            out.set(row, unit.attrs[a], candidates[pick].values[a]);
+            live.set(local, unit.attrs[a], candidates[pick].values[a]);
           }
           ++telemetry->merge_resamples;
           --budget;
@@ -1427,24 +1651,29 @@ Result<Table> ProgressiveShardSynthesis(
       }
     }
 
-    // Exact hard-DC passes, frozen prefix untouched.
+    // Exact hard-DC passes against the persistent frozen lookups; frozen
+    // rows are neither written nor read.
     std::vector<bool> attr_modified(schema.size(), false);
     telemetry->merge_fd_rewrites +=
-        PrefixFrozenFdCanonicalize(&out, families, begin, &attr_modified);
+        fd_lookups->Canonicalize(&live, &attr_modified);
 
     bool realigned_fd_attr = false;
-    for (const AlignTask& task : alignments) {
-      // Count for real every freeze (the composite engines keep this
-      // subquadratic): unlike the global pass there is no cheap
-      // "untouched" skip, because intra-shard residuals must also be
-      // caught before the rows freeze.
-      if (CountViolations(constraints[task.dc].dc, out) == 0) continue;
-      PrefixAlignSpec spec;
-      spec.group_attrs = task.group;
-      spec.ctx_attr = task.ctx;
-      spec.dep_attr = task.dep;
-      spec.co_monotone = task.co_monotone;
-      const int64_t moved = PrefixFrozenRankAlign(&out, spec, begin);
+    for (size_t k = 0; k < alignments.size(); ++k) {
+      const AlignTask& task = alignments[k];
+      // Count for real every freeze (intra-shard residuals must also be
+      // caught before the rows freeze) — but without re-reading frozen
+      // rows: total = pairs wholly inside the prefix (the running
+      // `frozen_violations` fold) + pairs inside the live slice + frozen
+      // x live pairs via the merged index delta.
+      int64_t total = frozen_violations[task.dc] +
+                      CountViolations(constraints[task.dc].dc, live);
+      if (merged[task.dc] != nullptr) {
+        for (size_t r = 0; r < live.num_rows(); ++r) {
+          total += merged[task.dc]->CountNew(live.row(r));
+        }
+      }
+      if (total == 0) continue;
+      const int64_t moved = align_lookups[k].Align(&live);
       telemetry->merge_order_alignments += moved;
       if (moved == 0) continue;
       attr_modified[task.dep] = true;
@@ -1459,14 +1688,30 @@ Result<Table> ProgressiveShardSynthesis(
     }
     if (realigned_fd_attr) {
       telemetry->merge_fd_rewrites +=
-          PrefixFrozenFdCanonicalize(&out, families, begin, &attr_modified);
+          fd_lookups->Canonicalize(&live, &attr_modified);
     }
 
     // Freeze: index the shard's *final* rows into the running merged
-    // indices (the stale pre-repair shard index is discarded).
+    // indices (the stale pre-repair shard index is discarded). For
+    // alignment DCs, fold the new intra-prefix pairs into the running
+    // count first — CountNew before AddRow sees each pair exactly once.
     for (size_t l = 0; l < constraints.size(); ++l) {
       if (merged[l] == nullptr) continue;
-      for (size_t r = begin; r < end; ++r) merged[l]->AddRow(out.row(r));
+      for (size_t r = 0; r < live.num_rows(); ++r) {
+        if (is_align_dc[l]) {
+          frozen_violations[l] += merged[l]->CountNew(live.row(r));
+        }
+        merged[l]->AddRow(live.row(r));
+      }
+    }
+    // Absorb the now-final slice into the persistent frozen lookups — the
+    // last read of these rows for reconciliation purposes, ever.
+    fd_lookups->Absorb(live, begin);
+    for (size_t k = 0; k < alignments.size(); ++k) {
+      align_lookups[k].Absorb(live);
+    }
+    for (size_t l = 0; l < constraints.size(); ++l) {
+      if (neighbors[l] != nullptr) neighbors[l]->Absorb(live, begin);
     }
     ++telemetry->merge_prefix_freezes;
     telemetry->merge_frozen_rows += static_cast<int64_t>(sizes[s]);
@@ -1474,6 +1719,29 @@ Result<Table> ProgressiveShardSynthesis(
     span.AddArg("conflict_rows", static_cast<int64_t>(offenders.size()));
 
     // Emit immediately: these rows are frozen and never rewritten.
+    if (out_of_core) {
+      // Seal the slice into the spill store and hand the encoded payload
+      // (or the materialized slice) straight to the chunk sink — the
+      // in-memory copy dies with `live` at the end of this freeze.
+      std::vector<uint8_t> encoded;
+      {
+        obs::TraceSpan spill_span("sampler/spill");
+        spill_span.AddArg("shard", static_cast<int64_t>(s));
+        spill_span.AddArg("rows", static_cast<int64_t>(live.num_rows()));
+        encoded = EncodeChunkColumns(live);
+        const uint64_t before = spill->spilled_bytes();
+        KAMINO_RETURN_IF_ERROR(spill->AppendBlock(encoded, live.num_rows()));
+        const int64_t delta =
+            static_cast<int64_t>(spill->spilled_bytes() - before);
+        spill_span.AddArg("bytes", delta);
+        telemetry->spill_blocks += 1;
+        telemetry->spill_bytes += delta;
+        telemetry->spilled_rows += static_cast<int64_t>(live.num_rows());
+      }
+      return EmitOneChunk(std::move(live), std::move(encoded), s, begin,
+                          s + 1 == num_shards, options, hooks);
+    }
+    out.AppendRowsFrom(live, 0, live.num_rows());
     return EmitOneChunk(out, s, begin, sizes[s], s + 1 == num_shards, options,
                         hooks);
   };
@@ -1485,6 +1753,7 @@ Result<Table> ProgressiveShardSynthesis(
       break;
     }
     if (inline_shards) {
+      dispatched = s + 1;  // for note_resident's dispatched-shard window
       status = run_shard(s);
     } else {
       std::unique_lock<std::mutex> lock(mu);
@@ -1501,6 +1770,34 @@ Result<Table> ProgressiveShardSynthesis(
         if (constraints[l].dc.is_unary()) continue;  // no cross pairs
         merged[l] = MakeViolationIndex(constraints[l].dc);
       }
+      fd_lookups = std::make_unique<FrozenFdLookups>(families);
+      for (const AlignTask& task : alignments) {
+        PrefixAlignSpec spec;
+        spec.group_attrs = task.group;
+        spec.ctx_attr = task.ctx;
+        spec.dep_attr = task.dep;
+        spec.co_monotone = task.co_monotone;
+        align_lookups.emplace_back(std::move(spec));
+        is_align_dc[task.dc] = 1;
+      }
+      // Frozen-neighbour stores for the repair's order-DC candidate
+      // seeding: one per indexed order-pair DC whose activation unit is a
+      // single numeric attribute on one side of the pair.
+      for (size_t l = 0; l < constraints.size(); ++l) {
+        size_t x = 0, y = 0;
+        if (!constraints[l].dc.AsOrderPair(&x, &y)) continue;
+        if (shards[0].indices[l] == nullptr) continue;
+        const size_t u = activation.dc_unit[l];
+        if (u == SIZE_MAX || model.units()[u].attrs.size() != 1) continue;
+        const size_t unit_attr = model.units()[u].attrs[0];
+        if (!schema.attribute(unit_attr).is_numeric()) continue;
+        const size_t other =
+            y == unit_attr ? x : (x == unit_attr ? y : SIZE_MAX);
+        if (other == SIZE_MAX || !schema.attribute(other).is_numeric()) {
+          continue;
+        }
+        neighbors[l] = std::make_unique<FrozenNeighborStore>(other, unit_attr);
+      }
     }
     obs::TraceSpan span("sampler/prefix_merge");
     span.AddArg("shard", static_cast<int64_t>(s));
@@ -1509,6 +1806,12 @@ Result<Table> ProgressiveShardSynthesis(
     status = freeze_shard(s, span);
     telemetry->merge_seconds += span.Finish();
     if (!status.ok()) break;
+    // Out-of-core windowed dispatch: the freeze just retired a slice to
+    // disk, so there is room for the next shard's table.
+    if (!inline_shards && out_of_core && dispatched < num_shards) {
+      dispatch_shard(dispatched);
+      ++dispatched;
+    }
   }
 
   if (!inline_shards) {
@@ -1518,13 +1821,26 @@ Result<Table> ProgressiveShardSynthesis(
     // `keep_going` at their internal boundaries).
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] {
-      for (char d : done) {
-        if (d == 0) return false;
+      for (size_t j = 0; j < dispatched; ++j) {
+        if (done[j] == 0) return false;
       }
       return true;
     });
   }
   KAMINO_RETURN_IF_ERROR(status);
+  telemetry->peak_resident_rows = peak_resident;
+  if (out_of_core) {
+    // The full table only ever existed on disk. Callers consuming the run
+    // through chunks skip the rebuild entirely (the constant-memory
+    // path); otherwise reassemble by bounded re-read — one validated
+    // block resident at a time, bit-exact by the codec's round-trip
+    // contract.
+    if (hooks != nullptr && hooks->discard_result) return out;
+    for (size_t b = 0; b < spill->block_count(); ++b) {
+      KAMINO_ASSIGN_OR_RETURN(Table slice, spill->ReadBlock(b, schema));
+      out.AppendRowsFrom(slice, 0, slice.num_rows());
+    }
+  }
   return out;
 }
 
@@ -1552,6 +1868,15 @@ void RecordSamplerMetrics(const SynthesisTelemetry& t, size_t rows) {
       ->Increment(t.merge_prefix_freezes);
   reg.counter("kamino.sampler.merge_frozen_rows")
       ->Increment(t.merge_frozen_rows);
+  reg.counter("kamino.sampler.merge_penalty_live_row_scans")
+      ->Increment(t.merge_penalty_live_row_scans);
+  reg.counter("kamino.sampler.merge_penalty_frozen_row_scans")
+      ->Increment(t.merge_penalty_frozen_row_scans);
+  reg.counter("kamino.store.spill_blocks")->Increment(t.spill_blocks);
+  reg.counter("kamino.store.spill_bytes")->Increment(t.spill_bytes);
+  reg.counter("kamino.store.spilled_rows")->Increment(t.spilled_rows);
+  reg.gauge("kamino.store.peak_resident_rows")
+      ->Set(static_cast<double>(t.peak_resident_rows));
 }
 
 }  // namespace
@@ -1606,9 +1931,11 @@ Result<Table> Synthesize(const ProbabilisticDataModel& model,
   const runtime::RngStream root(rng->NextSeed());
   const uint64_t merge_seed = root.SubSeed(num_shards);  // distinct stream
 
-  if (options.progressive_merge) {
+  if (options.progressive_merge || options.out_of_core) {
     // Same shard plan, same sub-seeds, different merge: reconcile + freeze
     // + emit each shard as it completes instead of one global pass.
+    // `out_of_core` implies the progressive freeze order — spilling only
+    // makes sense for slices that are final at their freeze.
     KAMINO_ASSIGN_OR_RETURN(
         Table out, ProgressiveShardSynthesis(model, constraints, options,
                                              activation, sizes, offsets,

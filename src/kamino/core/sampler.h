@@ -64,6 +64,13 @@ struct SynthesisHooks {
   /// before `Synthesize` returns. A non-OK return aborts the run with
   /// that status.
   std::function<Status(const TableChunk&)> on_chunk;
+  /// The caller consumes the run through `on_chunk` only and will drop
+  /// the returned table (the engine sets this when `collect_table` is
+  /// off). Under `out_of_core` this lets the sampler skip re-reading the
+  /// spilled slices to rebuild the full table and return a schema-only
+  /// one instead — the truly constant-memory delivery path. Ignored by
+  /// in-memory runs (the table already exists; returning it is free).
+  bool discard_result = false;
 };
 
 /// Counters describing one synthesis run (for the optimization
@@ -127,6 +134,27 @@ struct SynthesisTelemetry {
   /// Rows frozen (made immutable and eligible for delivery) by those
   /// freezes; equals the row count on a completed progressive run.
   int64_t merge_frozen_rows = 0;
+  /// Partner rows pair-scanned by the freeze repair's penalty kernel in
+  /// *live* (not yet frozen) tables. Under progressive merge the kernel
+  /// scores candidates as index-delta (`CountNew` against the merged
+  /// indices) + live pair scan, so...
+  int64_t merge_penalty_live_row_scans = 0;
+  /// ...this stays zero: frozen rows are never re-scanned. Asserted by
+  /// tests; a nonzero value means the constant-memory contract broke.
+  int64_t merge_penalty_frozen_row_scans = 0;
+
+  // --- Out-of-core spill (`KaminoOptions::out_of_core`) ---
+  /// Frozen-slice blocks sealed into the spill file (one per freeze).
+  int64_t spill_blocks = 0;
+  /// Bytes appended to the spill file (chunk-codec payloads + framing).
+  int64_t spill_bytes = 0;
+  /// Rows written to the spill store (equals n on a completed run).
+  int64_t spilled_rows = 0;
+  /// High-water mark of rows resident in materialized tables at any
+  /// point of the run (dispatched shard tables + the slice being frozen
+  /// + the accumulated output). Out-of-core runs bound this to ~2 shard
+  /// widths; in-memory runs grow it to n.
+  int64_t peak_resident_rows = 0;
   /// Seconds from job start (after dequeue — queue wait excluded) to the
   /// first `TableChunk` handed to the `RowSink`. Filled by the service
   /// engine, not the sampler; 0 when the run streamed no chunks. Also

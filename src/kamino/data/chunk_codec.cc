@@ -329,6 +329,20 @@ Result<Table> DecodeChunkColumns(const Schema& schema,
   return out;
 }
 
+Result<ChunkHeader> PeekChunkHeader(const std::vector<uint8_t>& bytes) {
+  ByteReader in(bytes.data(), bytes.size());
+  ChunkHeader header;
+  uint64_t n = 0;
+  uint32_t num_columns = 0;
+  if (!in.ReadU64(&n) || !in.ReadU32(&num_columns)) return Truncated();
+  if (n == 0 && !in.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after empty chunk");
+  }
+  header.rows = n;
+  header.columns = num_columns;
+  return header;
+}
+
 size_t RawChunkBytes(const Table& rows) {
   return rows.num_rows() * rows.num_columns() * sizeof(Value);
 }

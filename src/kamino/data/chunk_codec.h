@@ -35,6 +35,19 @@ std::vector<uint8_t> EncodeChunkColumns(const Table& rows);
 Result<Table> DecodeChunkColumns(const Schema& schema,
                                  const std::vector<uint8_t>& bytes);
 
+/// The fixed header every encoded chunk payload starts with.
+struct ChunkHeader {
+  uint64_t rows = 0;
+  uint32_t columns = 0;
+};
+
+/// Validates and returns the header of an encoded chunk payload without
+/// decoding the column blocks. The spill store uses this to cross-check a
+/// block's framed row count against the payload it seals before the bytes
+/// ever reach disk. Returns InvalidArgument on a truncated header or an
+/// empty-chunk payload carrying trailing bytes.
+Result<ChunkHeader> PeekChunkHeader(const std::vector<uint8_t>& bytes);
+
 /// Bytes the same rows occupy as boxed `Value` cells (the row-oriented
 /// in-memory form a raw delivery hands over) — the baseline compression
 /// ratios are quoted against.

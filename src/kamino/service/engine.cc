@@ -27,6 +27,7 @@ SampleSpec SpecOf(const SynthesisRequest& request) {
   spec.num_threads = request.num_threads;
   spec.compress_chunks = request.compress_chunks;
   spec.progressive_merge = request.progressive_merge;
+  spec.out_of_core = request.out_of_core;
   return spec;
 }
 
@@ -183,6 +184,7 @@ Result<SynthesisResult> KaminoEngine::Synthesize(
     return Status::InvalidArgument("Synthesize needs a fitted model");
   }
   SynthesisHooks hooks;
+  hooks.discard_result = !request.collect_table;
   RowSink* sink = request.sink;
   // First-chunk latency is clocked from run start (no queue on the
   // synchronous path); chunks are delivered serially from this call's
@@ -246,6 +248,7 @@ std::shared_ptr<SynthesisJob> KaminoEngine::Submit(
     auto first_chunk = std::make_shared<double>(-1.0);
 
     SynthesisHooks hooks;
+    hooks.discard_result = !request.collect_table;
     hooks.keep_going = [token] { return !token.cancel_requested(); };
     hooks.on_rows_sampled = [shared](size_t rows) {
       const size_t sampled =

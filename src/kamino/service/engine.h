@@ -177,9 +177,15 @@ struct SynthesisRequest {
   /// so the synthesized rows differ from the global-merge output for the
   /// same seed; either mode satisfies the same hard-DC guarantees.
   bool progressive_merge = false;
+  /// Spill frozen slices to disk and drop their in-memory columns (see
+  /// `KaminoOptions::out_of_core`). Implies `progressive_merge`. Combine
+  /// with `collect_table = false` + a sink for the constant-memory
+  /// delivery path: rows then exist only as chunks and spill blocks.
+  bool out_of_core = false;
   /// When false, the result's `synthetic` table is left empty — rows are
   /// observable through `sink` only. Saves the final copy for consumers
-  /// that forward chunks elsewhere anyway.
+  /// that forward chunks elsewhere anyway (and under `out_of_core` skips
+  /// re-reading the spilled slices entirely).
   bool collect_table = true;
 };
 

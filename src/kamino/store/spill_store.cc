@@ -1,0 +1,186 @@
+#include "kamino/store/spill_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "kamino/data/chunk_codec.h"
+#include "kamino/io/bytes.h"
+
+namespace kamino::store {
+namespace {
+
+std::string SpillParentDir(const std::string& dir_hint) {
+  if (!dir_hint.empty()) return dir_hint;
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir != nullptr && tmpdir[0] != '\0') return tmpdir;
+  return "/tmp";
+}
+
+Status BlockCorrupt(size_t index, const std::string& why) {
+  return Status::InvalidArgument("spill block " + std::to_string(index) +
+                                 ": " + why);
+}
+
+}  // namespace
+
+SpillStore::SpillStore(int fd, std::string dir_path, std::string file_path)
+    : fd_(fd),
+      dir_path_(std::move(dir_path)),
+      file_path_(std::move(file_path)) {
+  writer_ = std::make_unique<SpillWriter>(fd_, file_path_);
+}
+
+Result<std::unique_ptr<SpillStore>> SpillStore::Create(
+    const std::string& dir_hint) {
+  // mkdtemp gives the store a unique private directory, so concurrent jobs
+  // (or a crashed predecessor's leftovers) can never collide on names.
+  std::string tmpl = SpillParentDir(dir_hint) + "/kamino-spill-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IoError("cannot create spill directory under " +
+                           SpillParentDir(dir_hint) + ": " +
+                           std::strerror(errno));
+  }
+  std::string dir(buf.data());
+  std::string file = dir + "/frozen.spill";
+  const int fd = ::open(file.c_str(), O_CREAT | O_RDWR | O_TRUNC | O_CLOEXEC,
+                        0600);
+  if (fd < 0) {
+    const std::string detail = std::strerror(errno);
+    ::rmdir(dir.c_str());
+    return Status::IoError("cannot create spill file " + file + ": " +
+                           detail);
+  }
+  return std::unique_ptr<SpillStore>(
+      new SpillStore(fd, std::move(dir), std::move(file)));
+}
+
+SpillStore::~SpillStore() {
+  if (fd_ >= 0) ::close(fd_);
+  // Best effort: a failed unlink (already gone, permissions yanked) must
+  // not turn teardown into a crash.
+  ::unlink(file_path_.c_str());
+  ::rmdir(dir_path_.c_str());
+}
+
+Status SpillStore::AppendBlock(const std::vector<uint8_t>& payload,
+                               uint64_t rows) {
+  KAMINO_ASSIGN_OR_RETURN(const ChunkHeader header, PeekChunkHeader(payload));
+  if (header.rows != rows) {
+    return Status::Internal(
+        "spill block payload carries " + std::to_string(header.rows) +
+        " rows, caller framed " + std::to_string(rows));
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + kSpillBlockFramingBytes);
+  frame.insert(frame.end(), kSpillBlockMagic, kSpillBlockMagic + 4);
+  io::AppendU32(&frame, kSpillFormatVersion);
+  io::AppendU64(&frame, rows);
+  io::AppendU64(&frame, static_cast<uint64_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  io::AppendU64(&frame, io::DigestBytes(frame.data(), frame.size()));
+
+  BlockMeta meta;
+  meta.offset = writer_->offset();
+  meta.length = frame.size();
+  meta.rows = rows;
+  KAMINO_RETURN_IF_ERROR(writer_->Append(frame));
+  blocks_.push_back(meta);
+  spilled_rows_ += rows;
+  return Status::OK();
+}
+
+Status SpillStore::ReadExact(uint64_t offset, uint64_t length,
+                             std::vector<uint8_t>* out) const {
+  out->resize(length);
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n =
+        ::pread(fd_, out->data() + done, length - done,
+                static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("spill read from " + file_path_ +
+                             " failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("spill file " + file_path_ +
+                             " truncated: short read at offset " +
+                             std::to_string(offset + done));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> SpillStore::ReadValidatedPayload(size_t index) {
+  if (index >= blocks_.size()) {
+    return Status::InvalidArgument("spill block index " +
+                                   std::to_string(index) + " out of range");
+  }
+  KAMINO_RETURN_IF_ERROR(writer_->Flush());
+  const BlockMeta& meta = blocks_[index];
+  std::vector<uint8_t> frame;
+  KAMINO_RETURN_IF_ERROR(ReadExact(meta.offset, meta.length, &frame));
+  if (frame.size() < kSpillBlockFramingBytes) {
+    return BlockCorrupt(index, "frame shorter than fixed framing");
+  }
+  const uint64_t stored_digest =
+      [&frame] {
+        io::ByteReader tail(frame.data() + frame.size() - 8, 8);
+        uint64_t d = 0;
+        tail.ReadU64(&d);
+        return d;
+      }();
+  if (io::DigestBytes(frame.data(), frame.size() - 8) != stored_digest) {
+    return BlockCorrupt(index, "digest mismatch (bit flip or torn write)");
+  }
+  io::ByteReader in(frame.data(), frame.size() - 8);
+  const uint8_t* magic = nullptr;
+  if (!in.ReadBytes(&magic, 4) ||
+      std::memcmp(magic, kSpillBlockMagic, 4) != 0) {
+    return BlockCorrupt(index, "bad magic");
+  }
+  uint32_t version = 0;
+  if (!in.ReadU32(&version) || version != kSpillFormatVersion) {
+    return BlockCorrupt(index,
+                        "unsupported format version " +
+                            std::to_string(version));
+  }
+  uint64_t rows = 0, payload_len = 0;
+  if (!in.ReadU64(&rows) || !in.ReadU64(&payload_len)) {
+    return BlockCorrupt(index, "truncated header");
+  }
+  if (rows != meta.rows) {
+    return BlockCorrupt(index, "framed row count does not match metadata");
+  }
+  if (payload_len != in.remaining()) {
+    return BlockCorrupt(index, "payload length does not match frame");
+  }
+  const uint8_t* payload_bytes = nullptr;
+  if (!in.ReadBytes(&payload_bytes, payload_len)) {
+    return BlockCorrupt(index, "truncated payload");
+  }
+  return std::vector<uint8_t>(payload_bytes, payload_bytes + payload_len);
+}
+
+Result<std::vector<uint8_t>> SpillStore::ReadBlockPayload(size_t index) {
+  return ReadValidatedPayload(index);
+}
+
+Result<Table> SpillStore::ReadBlock(size_t index, const Schema& schema) {
+  KAMINO_ASSIGN_OR_RETURN(const std::vector<uint8_t> payload,
+                          ReadValidatedPayload(index));
+  KAMINO_ASSIGN_OR_RETURN(Table rows, DecodeChunkColumns(schema, payload));
+  if (rows.num_rows() != blocks_[index].rows) {
+    return BlockCorrupt(index, "decoded row count does not match frame");
+  }
+  return rows;
+}
+
+}  // namespace kamino::store

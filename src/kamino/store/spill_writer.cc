@@ -1,0 +1,68 @@
+#include "kamino/store/spill_writer.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kamino::store {
+
+SpillWriter::SpillWriter(int fd, std::string path_for_errors)
+    : fd_(fd), path_(std::move(path_for_errors)) {
+  buffer_.reserve(kSpillBufferBytes + kSpillWriteAlignment);
+}
+
+Status SpillWriter::WriteAll(const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd_, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = Status::IoError("spill write to " + path_ +
+                                " failed: " + std::strerror(errno));
+      return failed_;
+    }
+    if (n == 0) {
+      // A regular file reporting zero progress means the device cannot
+      // take the bytes (out of space without errno on some filesystems).
+      failed_ = Status::IoError("spill write to " + path_ +
+                                " made no progress (device full?)");
+      return failed_;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::Append(const uint8_t* data, size_t size) {
+  if (!failed_.ok()) return failed_;
+  offset_ += size;
+  while (size > 0) {
+    const size_t room = kSpillBufferBytes + kSpillWriteAlignment -
+                        buffer_.size();
+    const size_t take = size < room ? size : room;
+    buffer_.insert(buffer_.end(), data, data + take);
+    data += take;
+    size -= take;
+    if (buffer_.size() >= kSpillBufferBytes) {
+      // Drain the largest aligned multiple; the tail carries over so the
+      // next write() starts on an aligned file offset again.
+      const size_t drain =
+          buffer_.size() - (buffer_.size() % kSpillWriteAlignment);
+      KAMINO_RETURN_IF_ERROR(WriteAll(buffer_.data(), drain));
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<ptrdiff_t>(drain));
+    }
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::Flush() {
+  if (!failed_.ok()) return failed_;
+  if (buffer_.empty()) return Status::OK();
+  KAMINO_RETURN_IF_ERROR(WriteAll(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+}  // namespace kamino::store

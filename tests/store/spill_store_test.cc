@@ -1,0 +1,207 @@
+// Tests for the frozen-slice spill store (src/kamino/store/): framed
+// round trips through the chunk codec, fully validating reads (magic,
+// version, row count, length, digest — truncation and bit flips must
+// surface as a Status, never as silently wrong rows), the append-time
+// row-count cross-check, and the temp-file lifecycle (unique mkdtemp
+// naming, unlink on destruction, clear errors on an unusable parent).
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "kamino/common/logging.h"
+#include "kamino/data/chunk_codec.h"
+#include "kamino/data/table.h"
+#include "kamino/store/spill_store.h"
+
+namespace kamino {
+namespace {
+
+/// A small mixed-kind schema: one categorical, two numeric columns.
+Schema TestSchema() {
+  std::vector<std::string> cats;
+  for (int i = 0; i < 8; ++i) cats.push_back("c" + std::to_string(i));
+  return Schema({Attribute::MakeCategorical("kind", std::move(cats)),
+                 Attribute::MakeNumeric("x", 0.0, 100.0, 16),
+                 Attribute::MakeNumeric("y", -50.0, 50.0, 16)});
+}
+
+/// Deterministic slice: `rows` rows whose cells are functions of `salt`.
+Table TestSlice(const Schema& schema, size_t rows, int salt) {
+  Table t(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value::Categorical(static_cast<int32_t>((r + salt) % 8)));
+    row.push_back(Value::Numeric(static_cast<double>(r) * 1.5 + salt));
+    row.push_back(Value::Numeric(static_cast<double>(salt) - 0.25 * r));
+    KAMINO_CHECK(t.AppendRow(std::move(row)).ok());
+  }
+  return t;
+}
+
+void ExpectSameTable(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_TRUE(a.at(r, c) == b.at(r, c))
+          << "cell (" << r << ", " << c << ") diverged";
+    }
+  }
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Flips one bit of the spill file at `offset` (read-modify-write).
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  uint8_t byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, static_cast<off_t>(offset)), 1);
+  byte ^= 0x40;
+  ASSERT_EQ(::pwrite(fd, &byte, 1, static_cast<off_t>(offset)), 1);
+  ::close(fd);
+}
+
+TEST(SpillStoreTest, MultiBlockRoundTripIsBitExact) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  std::vector<Table> slices;
+  for (int b = 0; b < 3; ++b) {
+    slices.push_back(TestSlice(schema, 20 + 7 * b, b));
+    const std::vector<uint8_t> payload = EncodeChunkColumns(slices.back());
+    ASSERT_TRUE(store->AppendBlock(payload, slices.back().num_rows()).ok());
+  }
+  ASSERT_EQ(store->block_count(), 3u);
+  EXPECT_EQ(store->spilled_rows(), 20u + 27u + 34u);
+  EXPECT_GT(store->spilled_bytes(), 0u);
+  // Read back out of order: blocks are independent.
+  for (size_t b : {size_t{2}, size_t{0}, size_t{1}}) {
+    Table decoded = store->ReadBlock(b, schema).TakeValue();
+    ExpectSameTable(decoded, slices[b]);
+    EXPECT_EQ(store->block(b).rows, slices[b].num_rows());
+  }
+}
+
+TEST(SpillStoreTest, ReadBlockPayloadReturnsTheExactCodecBytes) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  const Table slice = TestSlice(schema, 15, 3);
+  const std::vector<uint8_t> payload = EncodeChunkColumns(slice);
+  ASSERT_TRUE(store->AppendBlock(payload, slice.num_rows()).ok());
+  std::vector<uint8_t> read = store->ReadBlockPayload(0).TakeValue();
+  EXPECT_EQ(read, payload);
+}
+
+TEST(SpillStoreTest, AppendRejectsMismatchedRowCount) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  const Table slice = TestSlice(schema, 10, 1);
+  const std::vector<uint8_t> payload = EncodeChunkColumns(slice);
+  const Status st = store->AppendBlock(payload, slice.num_rows() + 1);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(store->block_count(), 0u);
+}
+
+TEST(SpillStoreTest, TruncatedFileFailsTheRead) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  const Table slice = TestSlice(schema, 40, 2);
+  ASSERT_TRUE(
+      store->AppendBlock(EncodeChunkColumns(slice), slice.num_rows()).ok());
+  // Force the bytes to disk, then chop the frame's tail off.
+  ASSERT_TRUE(store->ReadBlock(0, schema).ok());
+  const uint64_t full = store->block(0).offset + store->block(0).length;
+  ASSERT_EQ(::truncate(store->file_path().c_str(),
+                       static_cast<off_t>(full - 5)),
+            0);
+  const auto result = store->ReadBlock(0, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("short read"), std::string::npos)
+      << result.status();
+}
+
+TEST(SpillStoreTest, PayloadBitFlipIsCaughtByTheDigest) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  const Table slice = TestSlice(schema, 40, 5);
+  ASSERT_TRUE(
+      store->AppendBlock(EncodeChunkColumns(slice), slice.num_rows()).ok());
+  ASSERT_TRUE(store->ReadBlock(0, schema).ok());  // flush + sanity
+  // Flip a byte in the middle of the payload region.
+  const uint64_t payload_start = store->block(0).offset + 4 + 4 + 8 + 8;
+  FlipByteAt(store->file_path(), payload_start + 3);
+  const auto result = store->ReadBlock(0, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("digest mismatch"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(SpillStoreTest, DigestBitFlipIsCaughtToo) {
+  const Schema schema = TestSchema();
+  auto store = store::SpillStore::Create("").TakeValue();
+  const Table slice = TestSlice(schema, 12, 9);
+  ASSERT_TRUE(
+      store->AppendBlock(EncodeChunkColumns(slice), slice.num_rows()).ok());
+  ASSERT_TRUE(store->ReadBlock(0, schema).ok());
+  // The trailing 8 bytes of the frame are the digest itself.
+  const uint64_t digest_byte =
+      store->block(0).offset + store->block(0).length - 2;
+  FlipByteAt(store->file_path(), digest_byte);
+  const auto result = store->ReadBlock(0, schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("digest mismatch"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(SpillStoreTest, OutOfRangeBlockIndexIsInvalidArgument) {
+  auto store = store::SpillStore::Create("").TakeValue();
+  const auto result = store->ReadBlockPayload(0);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SpillStoreTest, UnusableParentDirIsAClearIoError) {
+  const auto result =
+      store::SpillStore::Create("/nonexistent-kamino-parent/sub");
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(SpillStoreTest, DestructionRemovesFileAndDirectory) {
+  std::string file_path;
+  std::string dir_path;
+  {
+    const Schema schema = TestSchema();
+    auto store = store::SpillStore::Create("").TakeValue();
+    const Table slice = TestSlice(schema, 25, 4);
+    ASSERT_TRUE(
+        store->AppendBlock(EncodeChunkColumns(slice), slice.num_rows()).ok());
+    file_path = store->file_path();
+    dir_path = store->dir_path();
+    EXPECT_TRUE(PathExists(file_path));
+    EXPECT_TRUE(PathExists(dir_path));
+  }
+  EXPECT_FALSE(PathExists(file_path));
+  EXPECT_FALSE(PathExists(dir_path));
+}
+
+TEST(SpillStoreTest, StoresGetUniqueDirectories) {
+  auto a = store::SpillStore::Create("").TakeValue();
+  auto b = store::SpillStore::Create("").TakeValue();
+  EXPECT_NE(a->dir_path(), b->dir_path());
+  EXPECT_NE(a->file_path(), b->file_path());
+}
+
+}  // namespace
+}  // namespace kamino
